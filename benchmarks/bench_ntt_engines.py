@@ -1,0 +1,29 @@
+"""Functional ablation: wall-clock of the pure-Python NTT engine implementations.
+
+Not a paper table — this benchmarks the *functional* engines of this
+library against each other (reference vs butterfly vs GEMM vs tensor-core
+simulation) and doubles as the correctness gate the paper describes in
+Section VI-A (NTT followed by INTT returns the input bit-exactly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ntt import available_engines, create_engine
+from repro.numtheory import generate_ntt_prime
+
+RING_DEGREE = 256
+
+
+@pytest.mark.parametrize("engine_name", [e for e in available_engines() if e != "reference"])
+def test_ntt_engine_roundtrip_speed(benchmark, engine_name):
+    modulus = generate_ntt_prime(28, RING_DEGREE)
+    engine = create_engine(engine_name, RING_DEGREE, modulus)
+    rng = np.random.default_rng(0)
+    poly = rng.integers(0, modulus, RING_DEGREE, dtype=np.int64)
+
+    def roundtrip():
+        return engine.inverse(engine.forward(poly))
+
+    result = benchmark(roundtrip)
+    assert np.array_equal(result, poly)

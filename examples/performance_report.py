@@ -1,0 +1,64 @@
+"""Regenerate the paper's headline performance comparison from the model.
+
+Prints the Table VI operation latencies, the Table X workload runtimes and
+the headline speedups (vs 100x, vs F1+ on LR) as modelled by this library's
+GPU performance model at the paper's exact parameters.
+
+Run with:  python examples/performance_report.py
+"""
+
+from __future__ import annotations
+
+from repro.gpu import A100
+from repro.perf import (
+    ModelParameters,
+    NttVariant,
+    OperationModel,
+    OPERATIONS,
+    WorkloadModel,
+    format_table,
+    literature,
+)
+from repro.workloads import WORKLOADS
+
+
+def main() -> None:
+    parameters = ModelParameters(ring_degree=1 << 16, level_count=45, dnum=5,
+                                 batch_size=128)
+    rows = []
+    for variant, label in ((NttVariant.BUTTERFLY, "TensorFHE-NT"),
+                           (NttVariant.GEMM_CUDA, "TensorFHE-CO"),
+                           (NttVariant.GEMM_TCU, "TensorFHE")):
+        model = OperationModel(parameters, gpu=A100, variant=variant)
+        rows.append([label] + [model.operation_time_us(op) for op in OPERATIONS])
+    print(format_table(["configuration"] + list(OPERATIONS), rows,
+                       title="Modelled operation delay on the A100 (microseconds)"))
+    print()
+
+    tensorfhe = OperationModel(parameters, gpu=A100)
+    paper_100x = literature.TABLE_VI_OPERATION_DELAY_US["100x"]["HMULT"]
+    print("HMULT speedup over the published 100x number : %.2fx"
+          % (paper_100x / tensorfhe.operation_time_us("HMULT")))
+    print("paper's claim                                  : %.2fx"
+          % literature.HEADLINE_CLAIMS["speedup_over_100x"])
+    print()
+
+    workload_model = WorkloadModel()
+    rows = []
+    for name, spec in WORKLOADS.items():
+        modelled = workload_model.evaluate(spec).total_seconds
+        paper = literature.TABLE_X_WORKLOAD_SECONDS["TensorFHE"][name]
+        f1plus = literature.TABLE_X_WORKLOAD_SECONDS["F1+"][name]
+        rows.append([name, paper, modelled, f1plus])
+    print(format_table(["workload", "paper TensorFHE (s)", "model TensorFHE (s)",
+                        "paper F1+ (s)"], rows,
+                       title="Full-workload runtimes (Table X)"))
+    lr_speedup = (literature.TABLE_X_WORKLOAD_SECONDS["F1+"]["lr"]
+                  / workload_model.evaluate(WORKLOADS["lr"]).total_seconds)
+    print()
+    print("LR speedup over F1+ : %.2fx (paper claims %.1fx)"
+          % (lr_speedup, literature.HEADLINE_CLAIMS["speedup_over_f1plus_lr"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""High-level API layer (the paper's API layer): a single facade object."""
+
+from .facade import TensorFheContext
+
+__all__ = ["TensorFheContext"]

@@ -1,0 +1,140 @@
+"""TensorFheContext: the high-level API layer of the paper (Section IV-E).
+
+The paper's API layer collects FHE requests from the application, decomposes
+them into kernel workflows, picks batch sizes and invokes the kernel layer.
+``TensorFheContext`` is the library's equivalent single entry point: it owns
+the CKKS context, all key material, the encryptor/decryptor/evaluator, the
+batch scheduler and the kernel instrumentation, and exposes the FHE
+operations as plain methods so applications never touch the lower layers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..batching.scheduler import BatchPlan, BatchScheduler
+from ..ckks.ciphertext import Ciphertext, Plaintext
+from ..ckks.context import CkksContext
+from ..ckks.decryptor import Decryptor
+from ..ckks.encryptor import Encryptor
+from ..ckks.evaluator import Evaluator
+from ..ckks.keygen import KeyGenerator
+from ..ckks.params import CkksParameters, get_preset
+from ..gpu.spec import A100, GpuSpec
+
+__all__ = ["TensorFheContext"]
+
+
+class TensorFheContext:
+    """One-stop facade over key generation, encryption and evaluation."""
+
+    def __init__(self, parameters: CkksParameters, *, seed: int = None,
+                 rotation_steps: Iterable[int] = (), gpu: GpuSpec = A100) -> None:
+        self.context = CkksContext(parameters, seed=seed)
+        self.gpu = gpu
+        self._keygen = KeyGenerator(self.context)
+        self.secret_key = self._keygen.generate_secret_key()
+        self.public_key = self._keygen.generate_public_key(self.secret_key)
+        self.relinearization_key = self._keygen.generate_relinearization_key(self.secret_key)
+        self.rotation_keys = self._keygen.generate_rotation_keys(
+            self.secret_key, rotation_steps)
+        self.encryptor = Encryptor(self.context, self.public_key, self.secret_key)
+        self.decryptor = Decryptor(self.context, self.secret_key)
+        self.evaluator = Evaluator(self.context)
+        self.batch_scheduler = BatchScheduler(gpu)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_preset(cls, name: str, *, seed: int = None,
+                    rotation_steps: Iterable[int] = ()) -> "TensorFheContext":
+        """Build a context from a named parameter preset."""
+        return cls(get_preset(name), seed=seed, rotation_steps=rotation_steps)
+
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        return self.context.slot_count
+
+    @property
+    def parameters(self) -> CkksParameters:
+        return self.context.parameters
+
+    @property
+    def kernel_counter(self):
+        """Kernel instrumentation counters of this context."""
+        return self.context.kernels.counter
+
+    def ensure_rotation_keys(self, steps: Iterable[int]) -> None:
+        """Generate any missing rotation keys for ``steps``."""
+        missing = [step for step in steps
+                   if step % self.slot_count and step not in self.rotation_keys.keys]
+        for step in missing:
+            self.rotation_keys.add(step, self._keygen.generate_rotation_key(
+                self.secret_key, step))
+
+    # ------------------------------------------------------------------
+    # Encryption / decryption
+    # ------------------------------------------------------------------
+    def encode(self, values: Sequence[complex], *, level: int = None) -> Plaintext:
+        return self.encryptor.encode(values, level=level)
+
+    def encrypt(self, values: Sequence[complex]) -> Ciphertext:
+        return self.encryptor.encrypt(values)
+
+    def decrypt(self, ciphertext: Ciphertext) -> np.ndarray:
+        return self.decryptor.decrypt_to_slots(ciphertext)
+
+    def decrypt_real(self, ciphertext: Ciphertext) -> np.ndarray:
+        return self.decryptor.decrypt_real(ciphertext)
+
+    # ------------------------------------------------------------------
+    # FHE operations (thin wrappers with the keys filled in)
+    # ------------------------------------------------------------------
+    def add(self, lhs: Ciphertext, rhs: Ciphertext) -> Ciphertext:
+        return self.evaluator.add(lhs, rhs)
+
+    def subtract(self, lhs: Ciphertext, rhs: Ciphertext) -> Ciphertext:
+        return self.evaluator.subtract(lhs, rhs)
+
+    def multiply(self, lhs: Ciphertext, rhs: Ciphertext, *, rescale: bool = True) -> Ciphertext:
+        if rescale:
+            return self.evaluator.multiply_and_rescale(lhs, rhs, self.relinearization_key)
+        return self.evaluator.multiply(lhs, rhs, self.relinearization_key)
+
+    def multiply_plain(self, ciphertext: Ciphertext, values: Sequence[complex],
+                       *, rescale: bool = True) -> Ciphertext:
+        plaintext = self.encryptor.encode(values, level=ciphertext.level)
+        product = self.evaluator.multiply_plain(ciphertext, plaintext)
+        return self.evaluator.rescale(product) if rescale else product
+
+    def add_plain(self, ciphertext: Ciphertext, values: Sequence[complex]) -> Ciphertext:
+        plaintext = self.encryptor.encode(values, level=ciphertext.level,
+                                          scale=ciphertext.scale)
+        return self.evaluator.add_plain(ciphertext, plaintext)
+
+    def rotate(self, ciphertext: Ciphertext, steps: int) -> Ciphertext:
+        self.ensure_rotation_keys([steps % self.slot_count])
+        return self.evaluator.rotate(ciphertext, steps, self.rotation_keys)
+
+    def conjugate(self, ciphertext: Ciphertext) -> Ciphertext:
+        return self.evaluator.conjugate(ciphertext, self.rotation_keys)
+
+    def rescale(self, ciphertext: Ciphertext) -> Ciphertext:
+        return self.evaluator.rescale(ciphertext)
+
+    def inner_sum(self, ciphertext: Ciphertext, count: int = None) -> Ciphertext:
+        """Sum the first ``count`` (power-of-two) slots into every slot."""
+        count = self.slot_count if count is None else count
+        self.ensure_rotation_keys([1 << i for i in range(max(1, count.bit_length() - 1))])
+        return self.evaluator.rotate_and_sum(ciphertext, self.rotation_keys, count)
+
+    # ------------------------------------------------------------------
+    def plan_batch(self, *, level: int = None, requested: int = None) -> BatchPlan:
+        """Ask the API layer for the operation-level batch size it would use."""
+        level = self.context.max_level if level is None else level
+        return self.batch_scheduler.plan(
+            self.context.ring_degree, level + 1,
+            requested=requested or self.parameters.batch_size,
+        )

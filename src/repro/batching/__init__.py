@@ -1,0 +1,14 @@
+"""Operation-level batching: data layouts, batched kernels, batch-size planning."""
+
+from .batcher import OperationBatcher, make_batch
+from .layout import BatchedData, Layout
+from .scheduler import BatchPlan, BatchScheduler
+
+__all__ = [
+    "Layout",
+    "BatchedData",
+    "OperationBatcher",
+    "make_batch",
+    "BatchScheduler",
+    "BatchPlan",
+]

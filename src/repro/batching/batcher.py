@@ -1,0 +1,81 @@
+"""Operation-level batching of NTT work (paper Section IV-D).
+
+``OperationBatcher`` executes the same kernel for many operations at once:
+all batched operations share the same ``(N, q)`` and therefore the same
+twiddle matrices, so the batched forward/inverse NTT turns into one big
+GEMM (or one engine call per operation for non-GEMM engines).  This is the
+functional counterpart of the throughput-oriented execution the paper
+advocates; the performance benefit on a real GPU is captured by the
+performance model, while this class demonstrates the data-reuse and layout
+mechanics and is used by the batching tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..ntt.base import NttEngine
+from .layout import BatchedData, Layout
+
+__all__ = ["OperationBatcher"]
+
+
+class OperationBatcher:
+    """Applies per-limb kernels across a whole batch of operations."""
+
+    def __init__(self, engine: NttEngine, *, layout: str = Layout.L_B_N) -> None:
+        self.engine = engine
+        self.layout = layout
+
+    # ------------------------------------------------------------------
+    def forward_ntt(self, batch: BatchedData) -> BatchedData:
+        """Forward-NTT every limb of every batched operation."""
+        return self._transform(batch, self.engine.forward_batch)
+
+    def inverse_ntt(self, batch: BatchedData) -> BatchedData:
+        """Inverse-NTT every limb of every batched operation."""
+        return self._transform(batch, self.engine.inverse_batch)
+
+    def _transform(self, batch: BatchedData, transform) -> BatchedData:
+        working = batch.convert(self.layout)
+        limb_count = working.limb_count
+        outputs: List[np.ndarray] = []
+        for level in range(limb_count):
+            # One level-pack is a (B, N) matrix sharing a single twiddle
+            # table — the engine's batched entry point handles it directly.
+            pack = working.level_pack(level)
+            outputs.append(transform(pack))
+        if self.layout == Layout.L_B_N:
+            data = np.stack(outputs)                       # (L, B, N)
+        else:
+            data = np.stack(outputs).swapaxes(0, 1)        # (B, L, N)
+        return BatchedData(np.ascontiguousarray(data), self.layout)
+
+    # ------------------------------------------------------------------
+    def hadamard(self, lhs: BatchedData, rhs: BatchedData) -> BatchedData:
+        """Batched element-wise modular product (batched Hada-Mult)."""
+        self._check_compatible(lhs, rhs)
+        left = lhs.convert(self.layout)
+        right = rhs.convert(self.layout)
+        product = (left.data.astype(np.int64) * right.data.astype(np.int64)) % self.engine.modulus
+        return BatchedData(product, self.layout)
+
+    def add(self, lhs: BatchedData, rhs: BatchedData) -> BatchedData:
+        """Batched element-wise modular addition (batched Ele-Add)."""
+        self._check_compatible(lhs, rhs)
+        left = lhs.convert(self.layout)
+        right = rhs.convert(self.layout)
+        total = (left.data + right.data) % self.engine.modulus
+        return BatchedData(total, self.layout)
+
+    def _check_compatible(self, lhs: BatchedData, rhs: BatchedData) -> None:
+        if (lhs.batch_size, lhs.limb_count, lhs.ring_degree) != (
+                rhs.batch_size, rhs.limb_count, rhs.ring_degree):
+            raise ValueError("batched operands have mismatching shapes")
+
+
+def make_batch(operations: Sequence[np.ndarray], layout: str = Layout.L_B_N) -> BatchedData:
+    """Convenience helper building a :class:`BatchedData` from (L, N) matrices."""
+    return BatchedData.from_operations(operations, layout)

@@ -1,0 +1,98 @@
+"""Operation-level batching data layouts (paper Figure 9).
+
+``BatchedData`` holds the residue data of ``B`` batched operations, each an
+``(L, N)`` limb matrix, in either the original ``(B, L, N)`` order or the
+TensorFHE-customised ``(L, B, N)`` order.  The pack/unpack helpers expose
+what the GPU kernels would see: packing a level means gathering the
+level-``l`` limb of every batched operation, which is contiguous only in
+the ``(L, B, N)`` layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+__all__ = ["Layout", "BatchedData"]
+
+
+class Layout:
+    """Supported batching layouts."""
+
+    B_L_N = "(B,L,N)"
+    L_B_N = "(L,B,N)"
+
+    ALL = (B_L_N, L_B_N)
+
+
+@dataclass
+class BatchedData:
+    """Residue data of a batch of operations in a specific layout."""
+
+    data: np.ndarray
+    layout: str
+
+    def __post_init__(self) -> None:
+        if self.layout not in Layout.ALL:
+            raise ValueError("unknown layout %r" % self.layout)
+        if self.data.ndim != 3:
+            raise ValueError("batched data must be a 3-D array")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_operations(cls, limb_matrices: Iterable[np.ndarray],
+                        layout: str = Layout.B_L_N) -> "BatchedData":
+        """Stack per-operation ``(L, N)`` matrices into a batch."""
+        stacked = np.stack([np.asarray(m, dtype=np.int64) for m in limb_matrices])
+        batch = cls(stacked, Layout.B_L_N)
+        return batch.convert(layout)
+
+    # ------------------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        return self.data.shape[0] if self.layout == Layout.B_L_N else self.data.shape[1]
+
+    @property
+    def limb_count(self) -> int:
+        return self.data.shape[1] if self.layout == Layout.B_L_N else self.data.shape[0]
+
+    @property
+    def ring_degree(self) -> int:
+        return self.data.shape[2]
+
+    # ------------------------------------------------------------------
+    def convert(self, layout: str) -> "BatchedData":
+        """Return the same data in another layout."""
+        if layout == self.layout:
+            return BatchedData(self.data.copy(), layout)
+        if layout not in Layout.ALL:
+            raise ValueError("unknown layout %r" % layout)
+        return BatchedData(np.ascontiguousarray(self.data.swapaxes(0, 1)), layout)
+
+    def level_pack(self, level: int) -> np.ndarray:
+        """The ``(B, N)`` pack of limb ``level`` across the whole batch."""
+        if self.layout == Layout.B_L_N:
+            return self.data[:, level, :]
+        return self.data[level]
+
+    def operation(self, index: int) -> np.ndarray:
+        """The ``(L, N)`` limb matrix of operation ``index``."""
+        if self.layout == Layout.B_L_N:
+            return self.data[index]
+        return self.data[:, index, :]
+
+    def contiguous_run_bytes(self, word_bytes: int = 4) -> int:
+        """Contiguous bytes per gather when packing one level (Figure 9)."""
+        if self.layout == Layout.B_L_N:
+            return self.ring_degree * word_bytes
+        return self.batch_size * self.ring_degree * word_bytes
+
+    def gather_count(self) -> int:
+        """Number of separate memory regions touched per level pack."""
+        return self.batch_size if self.layout == Layout.B_L_N else 1
+
+    def to_operations(self) -> List[np.ndarray]:
+        """Unpack into the per-operation ``(L, N)`` matrices."""
+        return [self.operation(i).copy() for i in range(self.batch_size)]

@@ -1,0 +1,32 @@
+"""Full-RNS CKKS: parameters, encoding, keys, encryption, evaluation, bootstrap."""
+
+from .ciphertext import Ciphertext, Plaintext
+from .context import CkksContext
+from .decryptor import Decryptor
+from .encoder import CkksEncoder
+from .encryptor import Encryptor
+from .evaluator import Evaluator
+from .keygen import KeyGenerator
+from .keys import PublicKey, RotationKeySet, SecretKey, SwitchKey
+from .keyswitch import KeySwitcher
+from .params import FUNCTIONAL_PARAMETERS, PAPER_PARAMETERS, CkksParameters, get_preset
+
+__all__ = [
+    "CkksParameters",
+    "PAPER_PARAMETERS",
+    "FUNCTIONAL_PARAMETERS",
+    "get_preset",
+    "CkksContext",
+    "CkksEncoder",
+    "Plaintext",
+    "Ciphertext",
+    "SecretKey",
+    "PublicKey",
+    "SwitchKey",
+    "RotationKeySet",
+    "KeyGenerator",
+    "KeySwitcher",
+    "Encryptor",
+    "Decryptor",
+    "Evaluator",
+]

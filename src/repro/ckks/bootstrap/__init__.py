@@ -1,0 +1,28 @@
+"""Bootstrap pipeline: ModRaise, CoeffToSlot, EvalMod (sine), SlotToCoeff."""
+
+from .bootstrapper import BootstrapConfig, Bootstrapper
+from .bsgs import (
+    BsgsLinearTransform,
+    bsgs_step_counts,
+    matrix_diagonals,
+    required_rotations,
+)
+from .dft import CoeffToSlot, SlotToCoeff, embedding_matrix
+from .mod_raise import ModRaise
+from .sine_eval import SineEvaluator, evaluate_polynomial, taylor_sine_coefficients
+
+__all__ = [
+    "Bootstrapper",
+    "BootstrapConfig",
+    "ModRaise",
+    "CoeffToSlot",
+    "SlotToCoeff",
+    "embedding_matrix",
+    "BsgsLinearTransform",
+    "matrix_diagonals",
+    "bsgs_step_counts",
+    "required_rotations",
+    "SineEvaluator",
+    "taylor_sine_coefficients",
+    "evaluate_polynomial",
+]

@@ -1,0 +1,54 @@
+"""ModRaise: re-embed an exhausted ciphertext into a larger modulus.
+
+A ciphertext at level 0 satisfies ``c0 + c1*s ≡ Delta*m (mod q0)``.
+Re-interpreting the residues over the full prime chain keeps the equation
+true over the integers only up to a multiple of ``q0``:
+
+    c0 + c1*s = Delta*m + q0 * I(X)   over  R_{Q_L}
+
+with ``I`` a small integer polynomial (its size is governed by the secret
+key's Hamming weight).  Removing ``q0 * I`` homomorphically is the job of
+the later EvalMod/sine stage; ModRaise itself is a pure basis extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...rns.poly import PolyDomain, RnsPolynomial
+from ..ciphertext import Ciphertext
+from ..context import CkksContext
+
+__all__ = ["ModRaise"]
+
+
+class ModRaise:
+    """Raise level-0 ciphertexts back to a (near-)maximal level."""
+
+    def __init__(self, context: CkksContext, target_level: int = None) -> None:
+        self.context = context
+        self.target_level = context.max_level if target_level is None else target_level
+
+    def apply(self, ciphertext: Ciphertext) -> Ciphertext:
+        """Return the same ciphertext re-embedded at ``target_level``."""
+        if ciphertext.level != 0:
+            raise ValueError("ModRaise expects a level-0 (exhausted) ciphertext")
+        if ciphertext.c0.domain != PolyDomain.COEFFICIENT:
+            raise ValueError("ModRaise expects coefficient-domain ciphertexts")
+        return Ciphertext(
+            c0=self._raise_poly(ciphertext.c0),
+            c1=self._raise_poly(ciphertext.c1),
+            scale=ciphertext.scale,
+            level=self.target_level,
+        )
+
+    def _raise_poly(self, polynomial: RnsPolynomial) -> RnsPolynomial:
+        base_prime = polynomial.moduli[0]
+        residues = polynomial.residues[0]
+        # Centre the residues in (-q0/2, q0/2] before re-reducing so the
+        # implicit integer polynomial I stays small.
+        centered = np.where(residues > base_prime // 2, residues - base_prime, residues)
+        target_moduli = self.context.moduli_at_level(self.target_level)
+        rows = [centered % q for q in target_moduli]
+        return RnsPolynomial(polynomial.ring_degree, target_moduli,
+                             np.stack(rows).astype(np.int64), PolyDomain.COEFFICIENT)

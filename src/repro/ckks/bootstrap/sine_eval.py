@@ -1,0 +1,136 @@
+"""Homomorphic sine evaluation (the EvalMod stage of bootstrapping).
+
+After ModRaise the plaintext is ``m + q0 * I`` with a small integer
+polynomial ``I``.  Reducing modulo ``q0`` is approximated by
+
+    q0/(2*pi) * sin(2*pi * t / q0)  ≈  t mod q0     (for |m| << q0)
+
+The sine is evaluated with a truncated Taylor series (the paper cites the
+variable-precision Taylor approximation [8]); the polynomial is evaluated
+homomorphically with a depth-optimal square-and-multiply scheme built on
+HMULT/CMULT/HADD.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from ..ciphertext import Ciphertext
+from ..context import CkksContext
+from ..encryptor import Encryptor
+from ..evaluator import Evaluator
+from ..keys import SwitchKey
+
+__all__ = ["taylor_sine_coefficients", "evaluate_polynomial", "SineEvaluator"]
+
+
+def taylor_sine_coefficients(degree: int, scale_factor: float) -> List[float]:
+    """Coefficients of ``sin(scale_factor * x)`` as a Taylor series in ``x``.
+
+    Only odd powers are non-zero; the returned list has length
+    ``degree + 1`` with entry ``k`` the coefficient of ``x**k``.
+    """
+    coefficients = [0.0] * (degree + 1)
+    for k in range(1, degree + 1, 2):
+        coefficients[k] = ((-1) ** ((k - 1) // 2)) * (scale_factor ** k) / math.factorial(k)
+    return coefficients
+
+
+def evaluate_polynomial(coefficients: Sequence[float], values: np.ndarray) -> np.ndarray:
+    """Plaintext Horner evaluation (test oracle for the homomorphic path)."""
+    result = np.zeros_like(np.asarray(values, dtype=np.float64))
+    for coefficient in reversed(list(coefficients)):
+        result = result * values + coefficient
+    return result
+
+
+class SineEvaluator:
+    """Evaluates a fixed-degree polynomial of a ciphertext homomorphically."""
+
+    def __init__(self, context: CkksContext, coefficients: Sequence[float]) -> None:
+        self.context = context
+        self.coefficients = list(coefficients)
+        if not self.coefficients:
+            raise ValueError("polynomial must have at least one coefficient")
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    @property
+    def multiplicative_depth(self) -> int:
+        """Levels consumed: one per power-doubling plus one for the sum."""
+        return max(1, math.ceil(math.log2(max(2, self.degree)))) + 1
+
+    def apply(self, ciphertext: Ciphertext, evaluator: Evaluator,
+              encryptor: Encryptor, relinearization_key: SwitchKey) -> Ciphertext:
+        """Homomorphically evaluate ``p(ct)`` using cached power ciphertexts."""
+        powers = {1: ciphertext}
+        # Build the needed powers with a square-and-multiply ladder.
+        needed = [k for k, c in enumerate(self.coefficients) if k >= 1 and c != 0.0]
+        if not needed:
+            raise ValueError("polynomial has no non-constant terms")
+        highest = max(needed)
+        power = 1
+        while power * 2 <= highest:
+            squared = evaluator.multiply_and_rescale(powers[power], powers[power],
+                                                     relinearization_key)
+            powers[power * 2] = squared
+            power *= 2
+        for k in needed:
+            if k not in powers:
+                powers[k] = self._compose_power(k, powers, evaluator, relinearization_key)
+
+        accumulator = None
+        for k in needed:
+            coefficient = self.coefficients[k]
+            base = powers[k]
+            plain = encryptor.encode(
+                np.full(self.context.slot_count, coefficient), scale=base.scale,
+                level=base.level,
+            )
+            term = evaluator.rescale(evaluator.multiply_plain(base, plain))
+            accumulator = term if accumulator is None else self._add_aligned(
+                accumulator, term, evaluator)
+        constant = self.coefficients[0]
+        if constant:
+            plain = encryptor.encode(
+                np.full(self.context.slot_count, constant), scale=accumulator.scale,
+                level=accumulator.level,
+            )
+            accumulator = evaluator.add_plain(accumulator, plain)
+        return accumulator
+
+    # ------------------------------------------------------------------
+    def _compose_power(self, exponent: int, powers, evaluator: Evaluator,
+                       relinearization_key) -> Ciphertext:
+        """Build ``ct**exponent`` from already-computed power ciphertexts."""
+        remaining = exponent
+        parts = []
+        bit = 1
+        while remaining:
+            if remaining & 1:
+                parts.append(powers[bit])
+            remaining >>= 1
+            bit <<= 1
+        result = parts[0]
+        for part in parts[1:]:
+            result = evaluator.multiply_and_rescale(result, part, relinearization_key)
+        powers[exponent] = result
+        return result
+
+    def _add_aligned(self, lhs: Ciphertext, rhs: Ciphertext,
+                     evaluator: Evaluator) -> Ciphertext:
+        """Add two ciphertexts whose scales may differ slightly.
+
+        Power-of-two Taylor terms end up at marginally different scales
+        because the chain primes are only approximately equal to the
+        encoding scale; the difference is absorbed into the result scale,
+        which is the standard approximate-arithmetic treatment.
+        """
+        lhs, rhs = evaluator.align(lhs, rhs)
+        rhs = Ciphertext(rhs.c0, rhs.c1, lhs.scale, rhs.level)
+        return evaluator.add(lhs, rhs)

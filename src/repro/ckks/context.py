@@ -1,0 +1,91 @@
+"""CkksContext: the shared state of one CKKS instance.
+
+Owns the RNS basis (prime chain + special primes), the NTT planner (which
+caches one engine per ``(N, q)``), the kernel-layer instrumentation and the
+encoder.  Every other CKKS component (key generator, encryptor, evaluator,
+bootstrapper) receives the context instead of re-deriving parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..kernels.base import KernelContext
+from ..ntt.planner import NttPlanner
+from ..rns.basis import RnsBasis, build_default_basis
+from .encoder import CkksEncoder
+from .params import CkksParameters, get_preset
+
+__all__ = ["CkksContext"]
+
+
+class CkksContext:
+    """Everything derived from a :class:`CkksParameters` instance."""
+
+    def __init__(self, parameters: CkksParameters, *, seed: int = None) -> None:
+        self.parameters = parameters
+        # The generalized key-switching technique requires P >= max_j Q_j
+        # (Section II-B of the paper), i.e. at least as many special primes
+        # as there are ciphertext primes per decomposition group (alpha).
+        special_count = max(parameters.special_prime_count, parameters.alpha)
+        self.basis: RnsBasis = build_default_basis(
+            parameters.ring_degree,
+            parameters.level_count,
+            prime_bits=parameters.prime_bits,
+            special_count=special_count,
+            special_bits=parameters.special_prime_bits,
+        )
+        self.planner = NttPlanner(parameters.ntt_engine)
+        self.kernels = KernelContext(self.planner)
+        self.encoder = CkksEncoder(parameters)
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_preset(cls, name: str, *, seed: int = None) -> "CkksContext":
+        """Build a context from a named preset (see :mod:`repro.ckks.params`)."""
+        return cls(get_preset(name), seed=seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def ring_degree(self) -> int:
+        return self.parameters.ring_degree
+
+    @property
+    def max_level(self) -> int:
+        return self.parameters.max_level
+
+    @property
+    def slot_count(self) -> int:
+        return self.parameters.slot_count
+
+    @property
+    def scale(self) -> float:
+        return self.parameters.scale
+
+    def moduli_at_level(self, level: int) -> Tuple[int, ...]:
+        """Ciphertext primes active at ``level``."""
+        return self.basis.primes_at_level(level)
+
+    def extended_moduli_at_level(self, level: int) -> Tuple[int, ...]:
+        """Active primes plus the special primes (key-switching basis)."""
+        return self.basis.extended_primes_at_level(level)
+
+    def modulus_at_level(self, level: int) -> int:
+        """The integer modulus ``Q_level``."""
+        return self.basis.modulus_at_level(level)
+
+    def decomposition_groups(self, level: int) -> Sequence[Tuple[int, ...]]:
+        """dnum decomposition groups of the active chain at ``level``."""
+        return self.basis.decomposition_groups(level, self.parameters.dnum)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Summary of the instance (parameters plus derived prime counts)."""
+        info = dict(self.parameters.describe())
+        info["ciphertext_primes"] = len(self.basis.ciphertext_primes)
+        info["special_primes"] = len(self.basis.special_primes)
+        info["log_q"] = round(sum(float(np.log2(q)) for q in self.basis.ciphertext_primes), 1)
+        return info

@@ -1,0 +1,61 @@
+"""Decryption and decoding.
+
+``Decryptor.decrypt`` computes ``c0 + c1*s`` over the ciphertext's active
+basis and returns a coefficient-domain plaintext; ``decrypt_to_slots``
+additionally CRT-recombines the residues into centred integers and decodes
+them back into complex slot values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ciphertext import Ciphertext, Plaintext
+from .context import CkksContext
+from .keys import SecretKey
+
+__all__ = ["Decryptor"]
+
+
+class Decryptor:
+    """Decrypts ciphertexts with the secret key."""
+
+    def __init__(self, context: CkksContext, secret_key: SecretKey) -> None:
+        self.context = context
+        self.secret_key = secret_key
+
+    def decrypt(self, ciphertext: Ciphertext) -> Plaintext:
+        """Return the underlying plaintext polynomial ``c0 + c1*s``."""
+        planner = self.context.planner
+        moduli = ciphertext.moduli
+        secret_eval = self.secret_key.as_polynomial(moduli).to_evaluation(planner)
+        c1_eval = ciphertext.c1.to_evaluation(planner)
+        product = c1_eval.hadamard(secret_eval).to_coefficient(planner)
+        message = ciphertext.c0.add(product)
+        return Plaintext(polynomial=message, scale=ciphertext.scale,
+                         level=ciphertext.level)
+
+    def decrypt_to_slots(self, ciphertext: Ciphertext) -> np.ndarray:
+        """Decrypt and decode into a complex slot vector."""
+        plaintext = self.decrypt(ciphertext)
+        coefficients = plaintext.polynomial.to_integers(centered=True)
+        return self.context.encoder.decode(coefficients, plaintext.scale)
+
+    def decrypt_real(self, ciphertext: Ciphertext) -> np.ndarray:
+        """Decrypt and return the real parts of the slots."""
+        return self.decrypt_to_slots(ciphertext).real
+
+    def invariant_noise_budget_bits(self, ciphertext: Ciphertext,
+                                    expected_slots: np.ndarray = None) -> float:
+        """A crude noise estimate: ``log2(Q_level) - log2(max |coefficient|)``.
+
+        Not a formal noise bound, but useful in tests and examples to
+        observe the level/noise budget shrinking as operations are applied.
+        """
+        import math
+
+        plaintext = self.decrypt(ciphertext)
+        coefficients = plaintext.polynomial.to_integers(centered=True)
+        magnitude = max(abs(int(c)) for c in coefficients) or 1
+        modulus = self.context.modulus_at_level(ciphertext.level)
+        return float(math.log2(modulus) - math.log2(magnitude))

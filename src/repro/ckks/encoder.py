@@ -1,0 +1,104 @@
+"""CKKS encoder: complex slot vectors <-> integer polynomial coefficients.
+
+Implements the canonical-embedding encoding of CKKS.  A slot vector
+``z ∈ C^(N/2)`` is mapped to the real polynomial ``m(X)`` whose evaluations
+at the primitive ``2N``-th roots of unity ``zeta^(5^j)`` equal ``Delta*z_j``
+(the remaining conjugate roots carry the conjugate values, which keeps the
+coefficients real).  The transform and its inverse are computed with a
+length-``2N`` FFT, so encoding is ``O(N log N)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .params import CkksParameters
+
+__all__ = ["CkksEncoder"]
+
+
+class CkksEncoder:
+    """Encode/decode between complex slot vectors and coefficient vectors."""
+
+    def __init__(self, parameters: CkksParameters) -> None:
+        self.parameters = parameters
+        self.ring_degree = parameters.ring_degree
+        self.slot_count = parameters.slot_count
+        # Exponents 5^j mod 2N pick one root from each conjugate pair.
+        modulus = 2 * self.ring_degree
+        exponents = np.empty(self.slot_count, dtype=np.int64)
+        power = 1
+        for j in range(self.slot_count):
+            exponents[j] = power
+            power = (power * 5) % modulus
+        self.root_exponents = exponents
+        self.conjugate_exponents = (modulus - exponents) % modulus
+
+    # ------------------------------------------------------------------
+    def encode(self, values: Sequence[complex], scale: float = None) -> np.ndarray:
+        """Encode a slot vector into scaled integer coefficients.
+
+        Shorter inputs are zero-padded; longer inputs are rejected.  The
+        returned array contains signed integers (the caller reduces them
+        into whatever RNS basis it needs).
+        """
+        scale = self.parameters.scale if scale is None else float(scale)
+        slots = np.zeros(self.slot_count, dtype=np.complex128)
+        values = np.asarray(values, dtype=np.complex128)
+        if values.size > self.slot_count:
+            raise ValueError(
+                "too many values: %d > %d slots" % (values.size, self.slot_count)
+            )
+        slots[: values.size] = values
+        # Spread the slot values (and conjugates) over the odd spectrum of a
+        # length-2N transform, then one FFT gives the coefficients.
+        spectrum = np.zeros(2 * self.ring_degree, dtype=np.complex128)
+        spectrum[self.root_exponents] = slots * scale
+        spectrum[self.conjugate_exponents] = np.conj(slots) * scale
+        # m_k = (1/N) * sum_a spectrum[a] * exp(-2*pi*i*a*k / 2N)
+        coefficients = np.fft.fft(spectrum)[: self.ring_degree] / self.ring_degree
+        return np.round(coefficients.real).astype(object)
+
+    def decode(self, coefficients: Sequence[int], scale: float = None) -> np.ndarray:
+        """Decode integer coefficients back into a complex slot vector."""
+        scale = self.parameters.scale if scale is None else float(scale)
+        coefficients = np.asarray([float(c) for c in coefficients], dtype=np.float64)
+        if coefficients.size != self.ring_degree:
+            raise ValueError(
+                "expected %d coefficients, got %d" % (self.ring_degree, coefficients.size)
+            )
+        padded = np.zeros(2 * self.ring_degree, dtype=np.complex128)
+        padded[: self.ring_degree] = coefficients
+        # m(zeta^a) = sum_k m_k exp(+2*pi*i*a*k / 2N) = (2N * ifft(padded))[a]
+        evaluations = np.fft.ifft(padded) * (2 * self.ring_degree)
+        return evaluations[self.root_exponents] / scale
+
+    # ------------------------------------------------------------------
+    def encode_real(self, values: Sequence[float], scale: float = None) -> np.ndarray:
+        """Encode a real-valued vector (convenience wrapper)."""
+        return self.encode(np.asarray(values, dtype=np.float64), scale)
+
+    def decode_real(self, coefficients: Sequence[int], scale: float = None) -> np.ndarray:
+        """Decode and return only the real parts of the slots."""
+        return self.decode(coefficients, scale).real
+
+    def max_encodable_magnitude(self, level_modulus: int, scale: float = None) -> float:
+        """Largest slot magnitude that keeps coefficients below ``q/2``.
+
+        A rough bound used by input validation in the examples: the
+        coefficients of an encoded vector are bounded by ``scale * max|z| *
+        N`` in the worst case, which must stay below half the level modulus
+        for decryption to recover the message.
+        """
+        scale = self.parameters.scale if scale is None else float(scale)
+        return level_modulus / (2.0 * scale * self.ring_degree)
+
+    def slot_rotation(self, values: Sequence[complex], steps: int) -> List[complex]:
+        """Plaintext slot rotation (the reference behaviour for HROTATE)."""
+        values = list(values)
+        if len(values) != self.slot_count:
+            values = values + [0] * (self.slot_count - len(values))
+        steps %= self.slot_count
+        return values[steps:] + values[:steps]

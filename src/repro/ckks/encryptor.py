@@ -1,0 +1,112 @@
+"""Encryption and encoding helpers.
+
+``Encryptor`` turns slot vectors into ciphertexts at the maximum level.
+Both public-key encryption (``c = (v*b + e0 + m, v*a + e1)``) and
+symmetric encryption (``c = (-a*s + e + m, a)``) are provided; the latter
+produces slightly less noise and is handy in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..rns.poly import PolyDomain, RnsPolynomial
+from .ciphertext import Ciphertext, Plaintext
+from .context import CkksContext
+from .keys import PublicKey, SecretKey
+
+__all__ = ["Encryptor"]
+
+
+class Encryptor:
+    """Encodes and encrypts slot vectors for one CKKS context."""
+
+    def __init__(self, context: CkksContext, public_key: PublicKey = None,
+                 secret_key: SecretKey = None) -> None:
+        if public_key is None and secret_key is None:
+            raise ValueError("Encryptor needs a public key, a secret key, or both")
+        self.context = context
+        self.public_key = public_key
+        self.secret_key = secret_key
+
+    # ------------------------------------------------------------------
+    def encode(self, values: Sequence[complex], *, scale: float = None,
+               level: int = None) -> Plaintext:
+        """Encode a slot vector into a :class:`Plaintext` at ``level``."""
+        context = self.context
+        level = context.max_level if level is None else level
+        scale = context.scale if scale is None else scale
+        coefficients = context.encoder.encode(values, scale)
+        moduli = context.moduli_at_level(level)
+        polynomial = RnsPolynomial.from_integers(coefficients, moduli,
+                                                 context.ring_degree)
+        return Plaintext(polynomial=polynomial, scale=scale, level=level)
+
+    # ------------------------------------------------------------------
+    def encrypt(self, values: Sequence[complex], *, scale: float = None) -> Ciphertext:
+        """Encode and encrypt a slot vector (public key if available)."""
+        plaintext = self.encode(values, scale=scale)
+        return self.encrypt_plaintext(plaintext)
+
+    def encrypt_plaintext(self, plaintext: Plaintext) -> Ciphertext:
+        """Encrypt an already-encoded plaintext."""
+        if self.public_key is not None:
+            return self._encrypt_public(plaintext)
+        return self._encrypt_symmetric(plaintext)
+
+    def encrypt_symmetric(self, values: Sequence[complex], *, scale: float = None) -> Ciphertext:
+        """Encode and encrypt under the secret key."""
+        if self.secret_key is None:
+            raise ValueError("no secret key available for symmetric encryption")
+        plaintext = self.encode(values, scale=scale)
+        return self._encrypt_symmetric(plaintext)
+
+    # ------------------------------------------------------------------
+    def _encrypt_public(self, plaintext: Plaintext) -> Ciphertext:
+        context = self.context
+        planner = context.planner
+        rng = context.rng
+        level = plaintext.level
+        moduli = context.moduli_at_level(level)
+        n = context.ring_degree
+        stddev = context.parameters.error_std
+
+        pk_b = self.public_key.b.restrict_to(moduli)
+        pk_a = self.public_key.a.restrict_to(moduli)
+        ephemeral = RnsPolynomial.random_ternary(n, moduli, rng).to_evaluation(planner)
+        error0 = RnsPolynomial.random_gaussian(n, moduli, rng, stddev=stddev)
+        error1 = RnsPolynomial.random_gaussian(n, moduli, rng, stddev=stddev)
+        message_eval = plaintext.polynomial.to_evaluation(planner)
+
+        c0 = ephemeral.hadamard(pk_b).add(error0.to_evaluation(planner)).add(message_eval)
+        c1 = ephemeral.hadamard(pk_a).add(error1.to_evaluation(planner))
+        return Ciphertext(
+            c0=c0.to_coefficient(planner),
+            c1=c1.to_coefficient(planner),
+            scale=plaintext.scale,
+            level=level,
+        )
+
+    def _encrypt_symmetric(self, plaintext: Plaintext) -> Ciphertext:
+        if self.secret_key is None:
+            raise ValueError("no secret key available for symmetric encryption")
+        context = self.context
+        planner = context.planner
+        rng = context.rng
+        level = plaintext.level
+        moduli = context.moduli_at_level(level)
+        n = context.ring_degree
+
+        mask = RnsPolynomial.random_uniform(n, moduli, rng, domain=PolyDomain.EVALUATION)
+        secret_eval = self.secret_key.as_polynomial(moduli).to_evaluation(planner)
+        error = RnsPolynomial.random_gaussian(
+            n, moduli, rng, stddev=context.parameters.error_std
+        ).to_evaluation(planner)
+        message_eval = plaintext.polynomial.to_evaluation(planner)
+        c0 = mask.hadamard(secret_eval).negate().add(error).add(message_eval)
+        return Ciphertext(
+            c0=c0.to_coefficient(planner),
+            c1=mask.to_coefficient(planner),
+            scale=plaintext.scale,
+            level=level,
+        )

@@ -1,0 +1,183 @@
+"""Key generation: secret/public keys and generalized key-switching keys.
+
+Switch keys follow the Han–Ki generalized key switching used by the paper:
+the ciphertext chain at level ``l`` is split into ``dnum`` groups; for each
+group ``j`` the key holds an encryption of ``P * g_j * s_from`` under ``s``
+over the extended basis ``C_l ∪ P``, where ``g_j`` is the CRT
+reconstruction factor of the group (``g_j ≡ 1`` mod the group's primes and
+``≡ 0`` mod the other active primes).  Keys are generated for every level
+at once so the evaluator never needs the secret key.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..kernels.automorphism import apply_automorphism_coeff, galois_element_for_rotation
+from ..numtheory.crt import CrtContext
+from ..numtheory.modular import mod_inverse
+from ..rns.poly import PolyDomain, RnsPolynomial
+from .context import CkksContext
+from .keys import PublicKey, RotationKeySet, SecretKey, SwitchKey, SwitchKeyLevel
+
+__all__ = ["KeyGenerator"]
+
+
+class KeyGenerator:
+    """Generates all key material for a :class:`CkksContext`."""
+
+    def __init__(self, context: CkksContext) -> None:
+        self.context = context
+        self._rng = context.rng
+
+    # ------------------------------------------------------------------
+    # Secret / public keys
+    # ------------------------------------------------------------------
+    def generate_secret_key(self) -> SecretKey:
+        """Sample a (sparse) ternary secret key."""
+        parameters = self.context.parameters
+        n = parameters.ring_degree
+        weight = parameters.secret_hamming_weight
+        if weight is None:
+            coefficients = self._rng.integers(-1, 2, n)
+        else:
+            weight = min(weight, n)
+            coefficients = np.zeros(n, dtype=np.int64)
+            positions = self._rng.choice(n, size=weight, replace=False)
+            coefficients[positions] = self._rng.choice([-1, 1], size=weight)
+        return SecretKey(coefficients)
+
+    def generate_public_key(self, secret_key: SecretKey) -> PublicKey:
+        """Encryption key ``(b, a) = (-a*s + e, a)`` over the full chain."""
+        moduli = self.context.moduli_at_level(self.context.max_level)
+        planner = self.context.planner
+        n = self.context.ring_degree
+        a = RnsPolynomial.random_uniform(n, moduli, self._rng,
+                                         domain=PolyDomain.EVALUATION)
+        s_eval = secret_key.as_polynomial(moduli).to_evaluation(planner)
+        error = RnsPolynomial.random_gaussian(
+            n, moduli, self._rng, stddev=self.context.parameters.error_std
+        ).to_evaluation(planner)
+        b = a.hadamard(s_eval).negate().add(error)
+        return PublicKey(b=b, a=a)
+
+    # ------------------------------------------------------------------
+    # Switch keys
+    # ------------------------------------------------------------------
+    def generate_relinearization_key(self, secret_key: SecretKey) -> SwitchKey:
+        """Switch key for ``s^2 -> s`` (used by HMULT)."""
+        s_squared = self._square_secret(secret_key)
+        return self.create_switch_key(s_squared, secret_key, description="relinearization")
+
+    def generate_rotation_key(self, secret_key: SecretKey, steps: int) -> SwitchKey:
+        """Switch key for ``s(X^g) -> s`` with ``g = 5^steps`` (HROTATE)."""
+        galois_element = galois_element_for_rotation(steps, self.context.ring_degree)
+        rotated = self._automorphism_secret(secret_key, galois_element)
+        return self.create_switch_key(rotated, secret_key,
+                                      description="rotation(%d)" % steps)
+
+    def generate_rotation_keys(self, secret_key: SecretKey,
+                               steps: Iterable[int]) -> RotationKeySet:
+        """Generate rotation keys for several step counts plus conjugation."""
+        key_set = RotationKeySet()
+        for step in steps:
+            key_set.add(int(step), self.generate_rotation_key(secret_key, int(step)))
+        key_set.conjugation_key = self.generate_conjugation_key(secret_key)
+        return key_set
+
+    def generate_conjugation_key(self, secret_key: SecretKey) -> SwitchKey:
+        """Switch key for ``s(X^(2N-1)) -> s`` (complex conjugation)."""
+        galois_element = 2 * self.context.ring_degree - 1
+        conjugated = self._automorphism_secret(secret_key, galois_element)
+        return self.create_switch_key(conjugated, secret_key, description="conjugation")
+
+    # ------------------------------------------------------------------
+    def create_switch_key(self, source_key_mod: "SecretLike", secret_key: SecretKey,
+                          *, description: str = "switch") -> SwitchKey:
+        """Create a switch key re-encrypting ``source`` under ``secret_key``.
+
+        ``source_key_mod`` is a callable mapping a prime basis to the RNS
+        polynomial of the source secret (this lets ``s^2`` be computed per
+        basis without ever leaving RNS).
+        """
+        switch_key = SwitchKey(description=description)
+        for level in range(self.context.max_level + 1):
+            switch_key.levels[level] = self._switch_key_for_level(
+                source_key_mod, secret_key, level
+            )
+        return switch_key
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _switch_key_for_level(self, source_key_mod, secret_key: SecretKey,
+                              level: int) -> SwitchKeyLevel:
+        context = self.context
+        planner = context.planner
+        n = context.ring_degree
+        active = context.moduli_at_level(level)
+        extended = context.extended_moduli_at_level(level)
+        special_product = context.basis.special_product
+        groups = context.decomposition_groups(level)
+
+        active_product = 1
+        for prime in active:
+            active_product *= prime
+
+        s_eval = secret_key.as_polynomial(extended).to_evaluation(planner)
+        source_eval = source_key_mod(extended).to_evaluation(planner)
+
+        pairs: List[Tuple[RnsPolynomial, RnsPolynomial]] = []
+        group_list: List[Tuple[int, ...]] = []
+        for group in groups:
+            group_product = 1
+            for prime in group:
+                group_product *= prime
+            complement = active_product // group_product
+            # t = complement^{-1} mod each group prime, CRT-composed.
+            group_crt = CrtContext(group)
+            inverses = [mod_inverse(complement % q, q) for q in group]
+            t_value = group_crt.compose(inverses)
+            factors = []
+            for prime in extended:
+                factor = (special_product % prime) * (complement % prime) % prime
+                factor = factor * (t_value % prime) % prime
+                factors.append(factor)
+
+            a_poly = RnsPolynomial.random_uniform(n, extended, self._rng,
+                                                  domain=PolyDomain.EVALUATION)
+            error = RnsPolynomial.random_gaussian(
+                n, extended, self._rng, stddev=context.parameters.error_std
+            ).to_evaluation(planner)
+            payload = source_eval.scalar_multiply_per_limb(factors)
+            b_poly = a_poly.hadamard(s_eval).negate().add(error).add(payload)
+            pairs.append((b_poly, a_poly))
+            group_list.append(tuple(group))
+        return SwitchKeyLevel(level=level, group_moduli=group_list, pairs=pairs)
+
+    def _square_secret(self, secret_key: SecretKey):
+        """Return a callable producing ``s^2`` in any requested basis."""
+        context = self.context
+
+        def build(moduli: Sequence[int]) -> RnsPolynomial:
+            planner = context.planner
+            s_eval = secret_key.as_polynomial(moduli).to_evaluation(planner)
+            return s_eval.hadamard(s_eval).to_coefficient(planner)
+
+        return build
+
+    def _automorphism_secret(self, secret_key: SecretKey, galois_element: int):
+        """Return a callable producing ``s(X^g)`` in any requested basis."""
+        coefficients = secret_key.coefficients
+
+        def build(moduli: Sequence[int]) -> RnsPolynomial:
+            rows = []
+            for q in moduli:
+                reduced = np.asarray([c % q for c in coefficients], dtype=np.int64)
+                rows.append(apply_automorphism_coeff(reduced, galois_element, q))
+            return RnsPolynomial(len(coefficients), moduli, np.stack(rows),
+                                 PolyDomain.COEFFICIENT)
+
+        return build

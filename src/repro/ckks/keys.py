@@ -1,0 +1,117 @@
+"""Key material: secret, public, relinearization, rotation and conjugation keys.
+
+The secret key is kept as a signed ternary coefficient vector so it can be
+reduced into any RNS basis on demand.  Switch keys (used for
+relinearization, rotation and conjugation) follow the generalized
+key-switching of the paper: for every level they hold one ``(b_j, a_j)``
+pair per decomposition group, stored in the evaluation domain over the
+extended basis ``C_l ∪ P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..rns.poly import RnsPolynomial
+
+__all__ = ["SecretKey", "PublicKey", "SwitchKey", "SwitchKeyLevel", "RotationKeySet"]
+
+
+@dataclass
+class SecretKey:
+    """The ternary secret ``s`` as signed integer coefficients."""
+
+    coefficients: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.coefficients = np.asarray(self.coefficients, dtype=np.int64)
+
+    @property
+    def ring_degree(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    def as_polynomial(self, moduli: Sequence[int]) -> RnsPolynomial:
+        """Reduce the signed coefficients into the given RNS basis."""
+        return RnsPolynomial.from_integers(self.coefficients, moduli, self.ring_degree)
+
+    @property
+    def hamming_weight(self) -> int:
+        """Number of non-zero secret coefficients."""
+        return int(np.count_nonzero(self.coefficients))
+
+
+@dataclass
+class PublicKey:
+    """Encryption key pair ``(b, a)`` with ``b = -a*s + e`` (evaluation domain)."""
+
+    b: RnsPolynomial
+    a: RnsPolynomial
+
+    @property
+    def moduli(self):
+        return self.b.moduli
+
+
+@dataclass
+class SwitchKeyLevel:
+    """Key-switching material for one ciphertext level."""
+
+    level: int
+    group_moduli: List[Tuple[int, ...]]
+    pairs: List[Tuple[RnsPolynomial, RnsPolynomial]]
+
+    def __post_init__(self) -> None:
+        if len(self.group_moduli) != len(self.pairs):
+            raise ValueError("one (b, a) pair per decomposition group is required")
+
+    @property
+    def group_count(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass
+class SwitchKey:
+    """A key switching key from some secret ``s_from`` to the canonical ``s``."""
+
+    levels: Dict[int, SwitchKeyLevel] = field(default_factory=dict)
+    description: str = "switch"
+
+    def at_level(self, level: int) -> SwitchKeyLevel:
+        try:
+            return self.levels[level]
+        except KeyError:
+            raise KeyError(
+                "no %s key material for level %d (available: %s)"
+                % (self.description, level, sorted(self.levels))
+            ) from None
+
+    @property
+    def max_level(self) -> int:
+        return max(self.levels) if self.levels else -1
+
+
+@dataclass
+class RotationKeySet:
+    """Rotation (and conjugation) keys indexed by the rotation step count."""
+
+    keys: Dict[int, SwitchKey] = field(default_factory=dict)
+    conjugation_key: SwitchKey = None
+
+    def add(self, steps: int, key: SwitchKey) -> None:
+        self.keys[steps] = key
+
+    def for_steps(self, steps: int) -> SwitchKey:
+        try:
+            return self.keys[steps]
+        except KeyError:
+            raise KeyError(
+                "no rotation key for %d steps; generate it with "
+                "KeyGenerator.generate_rotation_keys" % steps
+            ) from None
+
+    @property
+    def available_steps(self) -> List[int]:
+        return sorted(self.keys)

@@ -1,0 +1,75 @@
+"""DRAM traffic and bandwidth-efficiency model (paper Figure 9 / Section IV-D).
+
+The operation-level batching of TensorFHE only pays off if the batched data
+can be streamed from VRAM contiguously.  The original ``(B, L, N)`` layout
+stores each operation's limbs together, so gathering the same-level limb of
+every batched operation touches ``B`` separate regions; the reorganised
+``(L, B, N)`` layout makes that gather one contiguous block.  This module
+quantifies the effect: the effective bandwidth is the peak bandwidth scaled
+by an efficiency factor that grows with the contiguous run length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import GpuSpec
+
+__all__ = ["MemoryTrafficModel"]
+
+_DRAM_TRANSACTION_BYTES = 128.0
+#: Run length (bytes) beyond which streaming reaches peak efficiency.
+_STREAMING_SATURATION_BYTES = 1 << 20
+
+
+@dataclass
+class MemoryTrafficModel:
+    """Effective-bandwidth model parameterised by access contiguity."""
+
+    gpu: GpuSpec
+    peak_efficiency: float = 0.88   # achievable fraction of datasheet bandwidth
+    random_efficiency: float = 0.18  # efficiency of scattered 128B transactions
+
+    def efficiency_for_run_length(self, contiguous_bytes: float) -> float:
+        """Bandwidth efficiency for accesses in runs of ``contiguous_bytes``."""
+        if contiguous_bytes <= _DRAM_TRANSACTION_BYTES:
+            return self.random_efficiency
+        span = min(1.0, contiguous_bytes / _STREAMING_SATURATION_BYTES)
+        return self.random_efficiency + (self.peak_efficiency - self.random_efficiency) * span
+
+    def effective_bandwidth(self, contiguous_bytes: float) -> float:
+        """Bytes per second deliverable for the given access pattern."""
+        return (self.gpu.memory_bandwidth_bytes_per_second
+                * self.efficiency_for_run_length(contiguous_bytes))
+
+    def transfer_time(self, total_bytes: float, contiguous_bytes: float) -> float:
+        """Seconds needed to move ``total_bytes`` with the given run length."""
+        if total_bytes <= 0:
+            return 0.0
+        return total_bytes / self.effective_bandwidth(contiguous_bytes)
+
+    # ------------------------------------------------------------------
+    def layout_run_length(self, layout: str, batch_size: int, ring_degree: int,
+                          word_bytes: int = 4) -> float:
+        """Contiguous run length when packing one level across the batch.
+
+        ``(B, L, N)``: each operation's level-``l`` entry is a separate run
+        of ``N * word`` bytes.  ``(L, B, N)``: the whole pack is one run of
+        ``B * N * word`` bytes (paper Figure 9b).
+        """
+        entry = ring_degree * word_bytes
+        normalized = layout.replace(" ", "").upper()
+        if normalized in ("(B,L,N)", "B_L_N", "BLN"):
+            return float(entry)
+        if normalized in ("(L,B,N)", "L_B_N", "LBN"):
+            return float(entry * batch_size)
+        raise ValueError("unknown layout %r" % layout)
+
+    def layout_speedup(self, batch_size: int, ring_degree: int,
+                       word_bytes: int = 4) -> float:
+        """Bandwidth-limited speedup of the ``(L,B,N)`` layout over ``(B,L,N)``."""
+        slow = self.efficiency_for_run_length(
+            self.layout_run_length("(B,L,N)", batch_size, ring_degree, word_bytes))
+        fast = self.efficiency_for_run_length(
+            self.layout_run_length("(L,B,N)", batch_size, ring_degree, word_bytes))
+        return fast / slow

@@ -1,0 +1,118 @@
+"""SM occupancy model (paper Figure 5 and Table IX).
+
+Occupancy is the fraction of resident warp slots that are actually active.
+Without batching, a single CKKS operation simply does not expose enough
+threads to fill an A100 (Figure 5: under 15% occupancy even at the best
+thread count); with operation-level batching, the batched kernels generate
+enough thread blocks to keep the occupancy above 85% (Table IX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .spec import GpuSpec
+
+__all__ = ["OccupancyModel", "OccupancyResult"]
+
+
+@dataclass
+class OccupancyResult:
+    """Occupancy and the resulting relative execution time."""
+
+    occupancy_percent: float
+    normalized_time: float
+    resident_threads: int
+
+
+class OccupancyModel:
+    """Analytical occupancy/performance model of one kernel launch."""
+
+    #: Per-thread working set (bytes) that competes for SM resources; beyond
+    #: this budget extra threads spill and bandwidth efficiency drops.
+    per_thread_state_bytes = 192.0
+    #: SM register/shared-memory budget available to the kernels (bytes).
+    sm_resource_bytes = 164 * 1024.0
+
+    def __init__(self, gpu: GpuSpec) -> None:
+        self.gpu = gpu
+
+    # ------------------------------------------------------------------
+    def occupancy_for_threads(self, total_threads: int, *,
+                              threads_per_sm: int = 512,
+                              work_elements: int = None) -> OccupancyResult:
+        """Occupancy and normalised time for an *unbatched* operation.
+
+        ``total_threads`` is the launch size (the paper sweeps 8K/16K/32K);
+        ``work_elements`` the number of data elements the kernel touches.
+        """
+        gpu = self.gpu
+        threads_per_sm = min(threads_per_sm, gpu.max_threads_per_sm)
+        resident = min(total_threads, gpu.sm_count * threads_per_sm)
+        slot_fraction = resident / gpu.max_resident_threads
+
+        # Resource pressure: as more threads share one SM, each gets fewer
+        # registers and the effective IPC per thread degrades.
+        pressure = (threads_per_sm * self.per_thread_state_bytes) / self.sm_resource_bytes
+        efficiency = 1.0 / (1.0 + max(0.0, pressure - 1.0))
+
+        # Memory efficiency: with more threads each one reads less data, so
+        # accesses fragment, bandwidth utilisation falls and the threads
+        # contend for the same cache lines (the 32K effect of Figure 5).
+        if work_elements:
+            elements_per_thread = max(1.0, work_elements / max(1, total_threads))
+            coalescing = min(1.0, elements_per_thread / 8.0)
+            contention = 1.0 + max(0.0, (resident - 16384) / 16384.0) * 1.2
+        else:
+            coalescing = 1.0
+            contention = 1.0
+
+        occupancy = 100.0 * slot_fraction * efficiency / contention
+        throughput = slot_fraction * efficiency * (0.6 + 0.4 * coalescing) / contention
+        normalized_time = 1.0 / max(throughput, 1e-9)
+        return OccupancyResult(
+            occupancy_percent=occupancy,
+            normalized_time=normalized_time,
+            resident_threads=resident,
+        )
+
+    # ------------------------------------------------------------------
+    def occupancy_for_batch(self, batch_size: int, limbs: int, ring_degree: int,
+                            *, threads_per_element: float = 1 / 8.0,
+                            uses_tensor_cores: bool = False) -> float:
+        """Occupancy (percent) of a batched kernel (Table IX).
+
+        A batched kernel processes ``batch * limbs * N`` elements; with one
+        thread per ``1/threads_per_element`` elements the launch easily
+        exceeds the GPU's resident-thread capacity and occupancy saturates.
+        Tensor-core kernels additionally keep the TCU pipelines busy, which
+        is counted as occupancy in the paper's Nsight methodology.
+        """
+        gpu = self.gpu
+        elements = batch_size * limbs * ring_degree
+        threads = elements * threads_per_element
+        saturation = min(1.0, threads / gpu.max_resident_threads)
+        ceiling = 0.95 if uses_tensor_cores else 0.92
+        floor_penalty = 0.06 if not uses_tensor_cores else 0.04
+        occupancy = 100.0 * (ceiling * saturation - floor_penalty * (1.0 - saturation))
+        return max(0.0, min(100.0, occupancy))
+
+    def operation_occupancy(self, operation: str, batch_size: int, limbs: int,
+                            ring_degree: int) -> float:
+        """Occupancy of one batched CKKS operation (Table IX rows)."""
+        heavy = operation.upper() in ("HMULT", "HROTATE")
+        medium = operation.upper() in ("RESCALE", "CMULT")
+        threads_per_element = 1 / 8.0 if heavy else (1 / 16.0 if medium else 1 / 32.0)
+        return self.occupancy_for_batch(
+            batch_size, limbs, ring_degree,
+            threads_per_element=threads_per_element,
+            uses_tensor_cores=heavy,
+        )
+
+    def table_ix(self, batch_size: int, limbs: int, ring_degree: int) -> Dict[str, float]:
+        """Occupancy of all five operations (reproduces Table IX)."""
+        return {
+            operation: self.operation_occupancy(operation, batch_size, limbs, ring_degree)
+            for operation in ("HMULT", "HROTATE", "RESCALE", "HADD", "CMULT")
+        }

@@ -1,0 +1,87 @@
+"""Kernel instrumentation: names and invocation counters.
+
+The paper's hierarchical reconstruction (Table II) decomposes every CKKS
+operation into seven reusable arithmetic kernels.  The evaluator in this
+library routes all polynomial work through the functions in this package,
+and a :class:`KernelCounter` records how often each kernel ran and how many
+limb-vectors it touched.  The tests use the counters to verify the Table II
+composition, and the performance model uses the same kernel taxonomy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["KernelName", "KernelCounter", "KernelContext"]
+
+
+class KernelName:
+    """Canonical kernel identifiers (paper Table II)."""
+
+    NTT = "NTT"
+    INTT = "INTT"
+    HADAMARD = "Hada-Mult"
+    ELE_ADD = "Ele-Add"
+    ELE_SUB = "Ele-Sub"
+    FROBENIUS = "FrobeniusMap"
+    CONJUGATE = "Conjugate"
+    CONV = "Conv"
+
+    ALL = (NTT, INTT, HADAMARD, ELE_ADD, ELE_SUB, FROBENIUS, CONJUGATE, CONV)
+
+
+@dataclass
+class KernelCounter:
+    """Counts kernel invocations and the limb-vectors they processed."""
+
+    invocations: Counter = field(default_factory=Counter)
+    limb_vectors: Counter = field(default_factory=Counter)
+
+    def record(self, kernel: str, limbs: int = 1) -> None:
+        """Record one invocation of ``kernel`` touching ``limbs`` limb-vectors."""
+        self.invocations[kernel] += 1
+        self.limb_vectors[kernel] += limbs
+
+    def reset(self) -> None:
+        self.invocations.clear()
+        self.limb_vectors.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain dict copy of the invocation counts."""
+        return dict(self.invocations)
+
+    def total(self, kernel: str) -> int:
+        return self.invocations.get(kernel, 0)
+
+    def merge(self, other: "KernelCounter") -> None:
+        self.invocations.update(other.invocations)
+        self.limb_vectors.update(other.limb_vectors)
+
+
+class KernelContext:
+    """Shared state for the kernel layer: the NTT planner and the counters."""
+
+    def __init__(self, planner, counter: KernelCounter = None) -> None:
+        self.planner = planner
+        self.counter = counter if counter is not None else KernelCounter()
+
+    @contextmanager
+    def capture(self) -> Iterator[KernelCounter]:
+        """Capture the kernels executed inside the ``with`` block.
+
+        The captured counts are *also* accumulated into the context's main
+        counter, mirroring a profiler attached to the kernel layer.
+        """
+        fresh = KernelCounter()
+        previous = self.counter
+        merged = KernelCounter()
+        merged.merge(previous)
+        self.counter = fresh
+        try:
+            yield fresh
+        finally:
+            merged.merge(fresh)
+            self.counter = merged

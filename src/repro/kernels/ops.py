@@ -1,0 +1,109 @@
+"""The seven reusable arithmetic kernels of the hierarchical reconstruction.
+
+Every function takes a :class:`~repro.kernels.base.KernelContext` (NTT
+planner + counters) and :class:`~repro.rns.poly.RnsPolynomial` operands,
+performs the operation on all limbs and records the invocation.  The CKKS
+evaluator composes these kernels exactly as Table II of the paper does, so
+the instrumentation reproduces the paper's operation→kernel mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..rns.conv import BasisConverter
+from ..rns.poly import PolyDomain, RnsPolynomial
+from .automorphism import apply_automorphism_coeff, apply_automorphism_eval
+from .base import KernelContext, KernelName
+
+__all__ = [
+    "ntt",
+    "intt",
+    "hadamard_multiply",
+    "element_add",
+    "element_subtract",
+    "frobenius_map",
+    "conjugate",
+    "basis_convert",
+]
+
+
+def ntt(context: KernelContext, polynomial: RnsPolynomial) -> RnsPolynomial:
+    """Forward NTT of every limb (coefficient → evaluation domain)."""
+    if polynomial.domain == PolyDomain.EVALUATION:
+        return polynomial.copy()
+    context.counter.record(KernelName.NTT, polynomial.limb_count)
+    return polynomial.to_evaluation(context.planner)
+
+
+def intt(context: KernelContext, polynomial: RnsPolynomial) -> RnsPolynomial:
+    """Inverse NTT of every limb (evaluation → coefficient domain)."""
+    if polynomial.domain == PolyDomain.COEFFICIENT:
+        return polynomial.copy()
+    context.counter.record(KernelName.INTT, polynomial.limb_count)
+    return polynomial.to_coefficient(context.planner)
+
+
+def hadamard_multiply(context: KernelContext, lhs: RnsPolynomial,
+                      rhs: RnsPolynomial) -> RnsPolynomial:
+    """Element-wise product of two evaluation-domain polynomials (Hada-Mult)."""
+    context.counter.record(KernelName.HADAMARD, lhs.limb_count)
+    return lhs.hadamard(rhs)
+
+
+def element_add(context: KernelContext, lhs: RnsPolynomial,
+                rhs: RnsPolynomial) -> RnsPolynomial:
+    """Element-wise addition (Ele-Add)."""
+    context.counter.record(KernelName.ELE_ADD, lhs.limb_count)
+    return lhs.add(rhs)
+
+
+def element_subtract(context: KernelContext, lhs: RnsPolynomial,
+                     rhs: RnsPolynomial) -> RnsPolynomial:
+    """Element-wise subtraction (Ele-Sub)."""
+    context.counter.record(KernelName.ELE_SUB, lhs.limb_count)
+    return lhs.subtract(rhs)
+
+
+def frobenius_map(context: KernelContext, polynomial: RnsPolynomial,
+                  galois_element: int) -> RnsPolynomial:
+    """Apply the Galois automorphism ``X -> X^g`` (FrobeniusMap kernel)."""
+    context.counter.record(KernelName.FROBENIUS, polynomial.limb_count)
+    rows = []
+    for i, q in enumerate(polynomial.moduli):
+        if polynomial.domain == PolyDomain.COEFFICIENT:
+            rows.append(apply_automorphism_coeff(polynomial.residues[i], galois_element, q))
+        else:
+            rows.append(apply_automorphism_eval(polynomial.residues[i], galois_element))
+    return RnsPolynomial(polynomial.ring_degree, polynomial.moduli,
+                         np.stack(rows), polynomial.domain)
+
+
+def conjugate(context: KernelContext, polynomial: RnsPolynomial) -> RnsPolynomial:
+    """Apply complex conjugation ``X -> X^(2N-1)`` (Conjugate kernel)."""
+    context.counter.record(KernelName.CONJUGATE, polynomial.limb_count)
+    galois_element = 2 * polynomial.ring_degree - 1
+    rows = []
+    for i, q in enumerate(polynomial.moduli):
+        if polynomial.domain == PolyDomain.COEFFICIENT:
+            rows.append(apply_automorphism_coeff(polynomial.residues[i], galois_element, q))
+        else:
+            rows.append(apply_automorphism_eval(polynomial.residues[i], galois_element))
+    return RnsPolynomial(polynomial.ring_degree, polynomial.moduli,
+                         np.stack(rows), polynomial.domain)
+
+
+def basis_convert(context: KernelContext, polynomial: RnsPolynomial,
+                  target_moduli: Sequence[int],
+                  converter: BasisConverter = None) -> RnsPolynomial:
+    """Fast basis conversion (Conv kernel).
+
+    A prebuilt :class:`BasisConverter` may be supplied to reuse its
+    precomputed constants (the key-switching path does this).
+    """
+    context.counter.record(KernelName.CONV, polynomial.limb_count)
+    if converter is None:
+        converter = BasisConverter(polynomial.moduli, tuple(target_moduli))
+    return converter.convert(polynomial)

@@ -1,0 +1,41 @@
+"""NTT engines: reference, butterfly, single-GEMM, four-step and tensor-core."""
+
+from .base import NttEngine
+from .butterfly import ButterflyNtt
+from .four_step import FourStepNtt
+from .matrix import MatrixNtt
+from .negacyclic import (
+    negacyclic_multiply,
+    pointwise_multiply,
+    schoolbook_negacyclic_multiply,
+)
+from .planner import (
+    DEFAULT_ENGINE,
+    ENGINE_REGISTRY,
+    NttPlanner,
+    available_engines,
+    create_engine,
+)
+from .reference import ReferenceNtt
+from .tensorcore import TensorCoreNtt
+from .twiddle import TwiddleCache, get_twiddle_cache, split_degree
+
+__all__ = [
+    "NttEngine",
+    "ReferenceNtt",
+    "ButterflyNtt",
+    "MatrixNtt",
+    "FourStepNtt",
+    "TensorCoreNtt",
+    "TwiddleCache",
+    "get_twiddle_cache",
+    "split_degree",
+    "negacyclic_multiply",
+    "pointwise_multiply",
+    "schoolbook_negacyclic_multiply",
+    "NttPlanner",
+    "create_engine",
+    "available_engines",
+    "ENGINE_REGISTRY",
+    "DEFAULT_ENGINE",
+]

@@ -1,0 +1,67 @@
+"""Common interface for all NTT engines.
+
+The paper evaluates three configurations that differ only in how the NTT
+kernel is computed (Table IV): *TensorFHE-NT* (radix-2 butterflies),
+*TensorFHE-CO* (GEMM formulation on CUDA cores) and *TensorFHE* (segmented
+GEMMs on tensor cores).  Every engine implements this interface so the
+kernel layer, the CKKS evaluator and the benchmarks can swap them freely.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["NttEngine"]
+
+
+class NttEngine(abc.ABC):
+    """Negacyclic NTT over ``Z_q[X]/(X^N + 1)`` for one ``(N, q)`` pair.
+
+    All engines accept and return coefficient vectors in natural order with
+    entries reduced to ``[0, q)``.
+    """
+
+    #: Short identifier used by the planner and the benchmarks.
+    name = "abstract"
+
+    def __init__(self, ring_degree: int, modulus: int) -> None:
+        self.ring_degree = ring_degree
+        self.modulus = modulus
+
+    @abc.abstractmethod
+    def forward(self, coefficients: np.ndarray) -> np.ndarray:
+        """Transform a coefficient vector to the evaluation (NTT) domain."""
+
+    @abc.abstractmethod
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Transform an evaluation-domain vector back to coefficients."""
+
+    def forward_batch(self, coefficient_rows: np.ndarray) -> np.ndarray:
+        """Forward-transform each row of a 2-D array (operation batching)."""
+        rows = np.asarray(coefficient_rows, dtype=np.int64)
+        if rows.ndim == 1:
+            return self.forward(rows)
+        return np.stack([self.forward(row) for row in rows])
+
+    def inverse_batch(self, value_rows: np.ndarray) -> np.ndarray:
+        """Inverse-transform each row of a 2-D array (operation batching)."""
+        rows = np.asarray(value_rows, dtype=np.int64)
+        if rows.ndim == 1:
+            return self.inverse(rows)
+        return np.stack([self.inverse(row) for row in rows])
+
+    def _validate(self, vector: np.ndarray) -> np.ndarray:
+        array = np.asarray(vector, dtype=np.int64)
+        if array.ndim != 1 or array.shape[0] != self.ring_degree:
+            raise ValueError(
+                "expected a vector of length %d, got shape %s"
+                % (self.ring_degree, array.shape)
+            )
+        if np.any(array < 0) or np.any(array >= self.modulus):
+            array = array % self.modulus
+        return array
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "%s(N=%d, q=%d)" % (type(self).__name__, self.ring_degree, self.modulus)

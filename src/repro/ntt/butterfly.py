@@ -1,0 +1,93 @@
+"""Radix-2 butterfly NTT (the *TensorFHE-NT* kernel).
+
+This is the classic in-place negacyclic NTT: Cooley–Tukey butterflies for
+the forward transform and Gentleman–Sande butterflies for the inverse
+(Figure 2 of the paper), with the negacyclic twist merged into the twiddle
+factors as in Longa–Naehrig.  It is the formulation the paper's stall
+analysis (Figure 4) shows to be RAW-stall bound on a GPU: every stage
+depends on the previous one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..numtheory.bit_ops import ilog2
+from .base import NttEngine
+from .twiddle import TwiddleCache, get_twiddle_cache
+
+__all__ = ["ButterflyNtt"]
+
+
+class ButterflyNtt(NttEngine):
+    """Iterative radix-2 CT/GS negacyclic NTT with precomputed twiddles."""
+
+    name = "butterfly"
+
+    def __init__(self, ring_degree: int, modulus: int,
+                 twiddles: TwiddleCache = None) -> None:
+        super().__init__(ring_degree, modulus)
+        self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
+        self._psi_brv = self.twiddles.psi_powers_bitrev()
+        self._psi_inv_brv = self.twiddles.psi_inv_powers_bitrev()
+        self._stages = ilog2(ring_degree)
+
+    def forward(self, coefficients: np.ndarray) -> np.ndarray:
+        """Cooley–Tukey forward NTT; natural-order input and output."""
+        work = self._validate(coefficients).copy()
+        n = self.ring_degree
+        q = self.modulus
+        psi = self._psi_brv
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            for i in range(m):
+                j1 = 2 * i * t
+                j2 = j1 + t
+                factor = int(psi[m + i])
+                upper = work[j1:j2]
+                lower = work[j1 + t:j2 + t]
+                twisted = (lower * factor) % q
+                summed = upper + twisted
+                np.subtract(summed, q, out=summed, where=summed >= q)
+                diffed = upper - twisted
+                np.add(diffed, q, out=diffed, where=diffed < 0)
+                work[j1:j2] = summed
+                work[j1 + t:j2 + t] = diffed
+            m *= 2
+        # The butterfly network leaves the result in bit-reversed order; the
+        # engine contract is natural order, so undo the permutation here.
+        from ..numtheory.bit_ops import bit_reverse_permutation
+
+        return work[bit_reverse_permutation(n)]
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Gentleman–Sande inverse NTT; natural-order input and output."""
+        from ..numtheory.bit_ops import bit_reverse_permutation
+
+        n = self.ring_degree
+        q = self.modulus
+        # GS consumes bit-reversed input, so permute first.
+        work = self._validate(values)[bit_reverse_permutation(n)].copy()
+        psi_inv = self._psi_inv_brv
+        t = 1
+        m = n
+        while m > 1:
+            j1 = 0
+            h = m // 2
+            for i in range(h):
+                j2 = j1 + t
+                factor = int(psi_inv[h + i])
+                upper = work[j1:j2]
+                lower = work[j1 + t:j2 + t]
+                summed = upper + lower
+                np.subtract(summed, q, out=summed, where=summed >= q)
+                diffed = upper - lower
+                np.add(diffed, q, out=diffed, where=diffed < 0)
+                work[j1:j2] = summed
+                work[j1 + t:j2 + t] = (diffed * factor) % q
+                j1 += 2 * t
+            t *= 2
+            m //= 2
+        return (work * self.twiddles.degree_inverse) % q

@@ -1,0 +1,66 @@
+"""Four-step GEMM NTT (Eq. 9 of the paper, the *TensorFHE-CO* kernel).
+
+The length-N input is reshaped into an ``N1 x N2`` matrix (``N = N1*N2``)
+and the negacyclic NTT becomes three small GEMM/Hadamard steps::
+
+    B = W1 @ a_mat            # inner length-N1 negacyclic NTTs (columns)
+    C = B  ⊙ W2               # Hadamard twiddle correction
+    R = C @ W3                # outer length-N2 cyclic DFTs (rows)
+    A[k1 + N1*k2] = R[k1, k2] # column-major flattening
+
+This keeps the twiddle matrices at ``O(N)`` size while exposing the work
+as dense GEMMs — the form the tensor-core engine then lowers to INT8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import NttEngine
+from .gemm_utils import modular_hadamard, modular_matmul
+from .twiddle import TwiddleCache, get_twiddle_cache
+
+__all__ = ["FourStepNtt"]
+
+
+class FourStepNtt(NttEngine):
+    """Three-GEMM decomposition of the negacyclic NTT (Eq. 9)."""
+
+    name = "four_step"
+
+    def __init__(self, ring_degree: int, modulus: int,
+                 twiddles: TwiddleCache = None) -> None:
+        super().__init__(ring_degree, modulus)
+        self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
+        self.n1, self.n2 = self.twiddles.four_step_shapes()
+
+    # -- forward -------------------------------------------------------
+    def forward(self, coefficients: np.ndarray) -> np.ndarray:
+        coefficients = self._validate(coefficients)
+        a_mat = coefficients.reshape(self.n1, self.n2)
+        w1, w2, w3 = self.twiddles.four_step_forward()
+        inner = self._gemm(w1, a_mat)
+        twisted = self._hadamard(inner, w2)
+        outer = self._gemm(twisted, w3)
+        # Output index is k1 + N1*k2, i.e. column-major flattening.
+        return outer.flatten(order="F")
+
+    # -- inverse -------------------------------------------------------
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        values = self._validate(values)
+        a_mat = values.reshape(self.n1, self.n2)
+        v1, v2, v3 = self.twiddles.four_step_inverse()
+        inner = self._gemm(v1, a_mat)
+        twisted = self._hadamard(inner, v2)
+        outer = self._gemm(twisted, v3)
+        flattened = outer.flatten(order="F")
+        return (flattened * self.twiddles.degree_inverse) % self.modulus
+
+    # -- hooks the tensor-core engine overrides -------------------------
+    def _gemm(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Modular GEMM on the "CUDA cores" (plain int64 matmul)."""
+        return modular_matmul(lhs, rhs, self.modulus)
+
+    def _hadamard(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Modular Hadamard product on the CUDA cores."""
+        return modular_hadamard(lhs, rhs, self.modulus)

@@ -1,0 +1,57 @@
+"""Overflow-safe modular matrix products for the GEMM-based NTT engines.
+
+NumPy's int64 matmul silently wraps on overflow, so the GEMM engines split
+the inner (reduction) dimension into chunks small enough that
+``chunk * (q-1)**2`` stays below 2**62 and reduce modulo ``q`` between
+chunks.  This matches the paper's observation that avoiding per-element
+modulo reductions and instead reducing an accumulator occasionally is what
+makes the matrix formulation fast; here it additionally keeps the Python
+implementation exact for arbitrary 30-bit moduli.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["modular_matmul", "modular_hadamard", "max_safe_chunk"]
+
+_SAFE_ACCUMULATOR_BITS = 62
+
+
+def max_safe_chunk(modulus: int) -> int:
+    """Largest inner-dimension chunk whose accumulation cannot overflow int64."""
+    limit = 1 << _SAFE_ACCUMULATOR_BITS
+    per_term = (modulus - 1) * (modulus - 1)
+    if per_term == 0:
+        return limit
+    return max(1, limit // per_term)
+
+
+def modular_matmul(lhs: np.ndarray, rhs: np.ndarray, modulus: int) -> np.ndarray:
+    """Return ``(lhs @ rhs) mod modulus`` exactly, using chunked accumulation."""
+    lhs = np.asarray(lhs, dtype=np.int64)
+    rhs = np.asarray(rhs, dtype=np.int64)
+    if lhs.shape[-1] != rhs.shape[0]:
+        raise ValueError(
+            "inner dimensions do not match: %s @ %s" % (lhs.shape, rhs.shape)
+        )
+    inner = lhs.shape[-1]
+    chunk = max_safe_chunk(modulus)
+    if chunk >= inner:
+        return (lhs @ rhs) % modulus
+    result = np.zeros(lhs.shape[:-1] + rhs.shape[1:], dtype=np.int64)
+    for start in range(0, inner, chunk):
+        stop = min(start + chunk, inner)
+        partial = (lhs[..., start:stop] @ rhs[start:stop]) % modulus
+        result = (result + partial) % modulus
+    return result
+
+
+def modular_hadamard(lhs: np.ndarray, rhs: np.ndarray, modulus: int) -> np.ndarray:
+    """Element-wise ``(lhs * rhs) mod modulus`` on int64 arrays."""
+    lhs = np.asarray(lhs, dtype=np.int64)
+    rhs = np.asarray(rhs, dtype=np.int64)
+    if modulus >= (1 << 31):
+        product = lhs.astype(object) * rhs.astype(object)
+        return np.asarray(product % modulus, dtype=np.int64)
+    return (lhs * rhs) % modulus

@@ -1,0 +1,61 @@
+"""Single-GEMM NTT (Eq. 8 of the paper).
+
+The butterfly network is replaced by one matrix–vector product
+``A = (W @ a) mod q`` with ``W[k, n] = psi^(2nk+n)``.  Only one modulo
+reduction per output coefficient is needed, and the twiddle matrix is
+precomputed once per CKKS instance.  The quadratic work is the price the
+paper pays for removing the RAW dependencies between butterfly stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import NttEngine
+from .gemm_utils import modular_matmul
+from .twiddle import TwiddleCache, get_twiddle_cache
+
+__all__ = ["MatrixNtt"]
+
+
+class MatrixNtt(NttEngine):
+    """Full ``N x N`` matrix formulation of the negacyclic NTT."""
+
+    name = "matrix"
+
+    def __init__(self, ring_degree: int, modulus: int,
+                 twiddles: TwiddleCache = None) -> None:
+        super().__init__(ring_degree, modulus)
+        self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
+
+    def forward(self, coefficients: np.ndarray) -> np.ndarray:
+        coefficients = self._validate(coefficients)
+        weight = self.twiddles.forward_matrix()
+        return modular_matmul(weight, coefficients[:, None], self.modulus)[:, 0]
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        values = self._validate(values)
+        weight = self.twiddles.inverse_matrix()
+        raw = modular_matmul(weight, values[:, None], self.modulus)[:, 0]
+        return (raw * self.twiddles.degree_inverse) % self.modulus
+
+    def forward_batch(self, coefficient_rows: np.ndarray) -> np.ndarray:
+        """Batched forward transform: one GEMM for the whole batch.
+
+        This is exactly the operation-level batching argument of the paper:
+        with ``B`` operations sharing the twiddle matrix, the matrix–vector
+        products become a single matrix–matrix product.
+        """
+        rows = np.asarray(coefficient_rows, dtype=np.int64)
+        if rows.ndim == 1:
+            return self.forward(rows)
+        weight = self.twiddles.forward_matrix()
+        return modular_matmul(weight, rows.T % self.modulus, self.modulus).T
+
+    def inverse_batch(self, value_rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(value_rows, dtype=np.int64)
+        if rows.ndim == 1:
+            return self.inverse(rows)
+        weight = self.twiddles.inverse_matrix()
+        raw = modular_matmul(weight, rows.T % self.modulus, self.modulus).T
+        return (raw * self.twiddles.degree_inverse) % self.modulus

@@ -1,0 +1,77 @@
+"""NTT engine registry and planner.
+
+The planner is the software analogue of the paper's API layer picking which
+NTT kernel to launch: it instantiates the requested engine (butterfly /
+matrix / four-step / tensor-core / reference), caches engines per
+``(engine, N, q)`` so their twiddle tables are reused, and exposes a
+``default_engine`` that the CKKS stack uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from .base import NttEngine
+from .butterfly import ButterflyNtt
+from .four_step import FourStepNtt
+from .matrix import MatrixNtt
+from .reference import ReferenceNtt
+from .tensorcore import TensorCoreNtt
+
+__all__ = ["ENGINE_REGISTRY", "available_engines", "create_engine", "NttPlanner"]
+
+ENGINE_REGISTRY: Dict[str, Type[NttEngine]] = {
+    ReferenceNtt.name: ReferenceNtt,
+    ButterflyNtt.name: ButterflyNtt,
+    MatrixNtt.name: MatrixNtt,
+    FourStepNtt.name: FourStepNtt,
+    TensorCoreNtt.name: TensorCoreNtt,
+}
+
+#: Engine used by the CKKS stack when none is specified.  The four-step
+#: GEMM engine is the fastest functionally-exact pure-numpy formulation and
+#: corresponds to the paper's TensorFHE-CO configuration.
+DEFAULT_ENGINE = FourStepNtt.name
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Names of all registered NTT engines."""
+    return tuple(ENGINE_REGISTRY)
+
+
+def create_engine(name: str, ring_degree: int, modulus: int, **kwargs) -> NttEngine:
+    """Instantiate engine ``name`` for the given ring degree and modulus."""
+    try:
+        engine_cls = ENGINE_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            "unknown NTT engine %r; available: %s" % (name, ", ".join(ENGINE_REGISTRY))
+        ) from None
+    return engine_cls(ring_degree, modulus, **kwargs)
+
+
+class NttPlanner:
+    """Caches NTT engines per ``(engine_name, N, q)`` triple."""
+
+    def __init__(self, engine_name: str = DEFAULT_ENGINE) -> None:
+        if engine_name not in ENGINE_REGISTRY:
+            raise ValueError("unknown NTT engine %r" % engine_name)
+        self.engine_name = engine_name
+        self._engines: Dict[Tuple[str, int, int], NttEngine] = {}
+
+    def engine_for(self, ring_degree: int, modulus: int, *, name: str = None) -> NttEngine:
+        """Return (and cache) an engine for ``(N, q)``."""
+        engine_name = name or self.engine_name
+        key = (engine_name, ring_degree, modulus)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = create_engine(engine_name, ring_degree, modulus)
+            self._engines[key] = engine
+        return engine
+
+    def clear(self) -> None:
+        """Drop all cached engines (and their twiddle tables)."""
+        self._engines.clear()
+
+    def __len__(self) -> int:
+        return len(self._engines)

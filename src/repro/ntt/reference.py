@@ -1,0 +1,70 @@
+"""Reference O(N^2) negacyclic NTT used as the correctness oracle.
+
+Implements Eq. 4 of the paper literally with Python integers; every other
+engine is tested against this one.  It is deliberately simple and slow.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..numtheory.modular import mod_inverse
+from .base import NttEngine
+from .twiddle import TwiddleCache, get_twiddle_cache
+
+__all__ = ["ReferenceNtt", "reference_forward", "reference_inverse"]
+
+
+def reference_forward(coefficients: Sequence[int], ring_degree: int, modulus: int,
+                      psi: int) -> np.ndarray:
+    """Direct evaluation of ``A_k = sum_n a_n psi^(2nk+n) mod q``."""
+    n = ring_degree
+    result = np.zeros(n, dtype=np.int64)
+    psi_powers = [pow(psi, e, modulus) for e in range(2 * n)]
+    for k in range(n):
+        accumulator = 0
+        for idx in range(n):
+            exponent = (2 * idx * k + idx) % (2 * n)
+            accumulator = (accumulator + int(coefficients[idx]) * psi_powers[exponent]) % modulus
+        result[k] = accumulator
+    return result
+
+
+def reference_inverse(values: Sequence[int], ring_degree: int, modulus: int,
+                      psi: int) -> np.ndarray:
+    """Direct evaluation of ``a_n = N^-1 sum_k A_k psi^-(2nk+n) mod q``."""
+    n = ring_degree
+    psi_inv = mod_inverse(psi, modulus)
+    n_inv = mod_inverse(n, modulus)
+    psi_inv_powers = [pow(psi_inv, e, modulus) for e in range(2 * n)]
+    result = np.zeros(n, dtype=np.int64)
+    for out in range(n):
+        accumulator = 0
+        for k in range(n):
+            exponent = (2 * out * k + out) % (2 * n)
+            accumulator = (accumulator + int(values[k]) * psi_inv_powers[exponent]) % modulus
+        result[out] = accumulator * n_inv % modulus
+    return result
+
+
+class ReferenceNtt(NttEngine):
+    """Quadratic-time oracle engine (Eq. 1/2/4 evaluated directly)."""
+
+    name = "reference"
+
+    def __init__(self, ring_degree: int, modulus: int,
+                 twiddles: TwiddleCache = None) -> None:
+        super().__init__(ring_degree, modulus)
+        self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
+
+    def forward(self, coefficients: np.ndarray) -> np.ndarray:
+        coefficients = self._validate(coefficients)
+        return reference_forward(coefficients, self.ring_degree, self.modulus,
+                                 self.twiddles.psi)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        values = self._validate(values)
+        return reference_inverse(values, self.ring_degree, self.modulus,
+                                 self.twiddles.psi)

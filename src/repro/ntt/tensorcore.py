@@ -1,0 +1,87 @@
+"""Tensor-core NTT (the full *TensorFHE* kernel, paper Figure 8).
+
+Same three-GEMM decomposition as :class:`~repro.ntt.four_step.FourStepNtt`,
+but every GEMM is lowered to the simulated Tensor Core Units:
+
+* **Stage 1** — segment the input matrix into four u8 limb matrices
+  (:func:`repro.tcu.segmentation.segment_matrix`);
+* **Stage 2** — run the limb-pair GEMMs ``O_ij = W1_i @ T_j`` on the
+  TCU simulator, one CUDA stream each (up to 16 concurrent GEMMs);
+* **Stage 3** — fuse the partial products (Booth accumulation), Hadamard-
+  multiply with ``W2`` and re-segment;
+* **Stage 4** — limb-pair GEMMs with ``W3`` on the TCUs;
+* **Stage 5** — fuse and reduce modulo ``q`` (plus the ``N^-1`` factor for
+  the inverse transform).
+
+The class keeps the :class:`~repro.tcu.gemm.TcuStats` counters of all GEMMs
+it issued so the performance model and the benchmarks can report tensor-
+core utilisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..tcu.fusion import fuse_partial_products
+from ..tcu.gemm import TcuStats, TensorCoreGemm
+from ..tcu.segmentation import segment_matrix
+from ..tcu.streams import StreamScheduler, StreamTask
+from .four_step import FourStepNtt
+from .gemm_utils import modular_hadamard
+from .twiddle import TwiddleCache
+
+__all__ = ["TensorCoreNtt"]
+
+
+class TensorCoreNtt(FourStepNtt):
+    """Four-step NTT whose GEMMs run on the simulated INT8 tensor cores."""
+
+    name = "tensorcore"
+
+    def __init__(self, ring_degree: int, modulus: int,
+                 twiddles: TwiddleCache = None, *,
+                 stream_count: int = 16) -> None:
+        super().__init__(ring_degree, modulus, twiddles)
+        self.tcu = TensorCoreGemm()
+        self.stream_scheduler = StreamScheduler(stream_count)
+        self.last_schedule = None
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> TcuStats:
+        """Tensor-core work counters accumulated since construction."""
+        return self.tcu.stats
+
+    def reset_stats(self) -> None:
+        self.tcu.stats.reset()
+
+    # ------------------------------------------------------------------
+    def _gemm(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Lower a modular GEMM to segmented INT8 tensor-core GEMMs.
+
+        Both operands are segmented into u8 limb matrices; every pair of
+        non-zero limbs produces one INT8 GEMM with s32 accumulation, and
+        the partial products are fused modulo ``q``.
+        """
+        lhs_segments = segment_matrix(np.asarray(lhs, dtype=np.int64))
+        rhs_segments = segment_matrix(np.asarray(rhs, dtype=np.int64))
+        partials: Dict[Tuple[int, int], np.ndarray] = {}
+        tasks = []
+        inner = np.asarray(lhs).shape[1]
+        for limb_left in lhs_segments.nonzero_limbs():
+            for limb_right in rhs_segments.nonzero_limbs():
+                partial = self.tcu.multiply(lhs_segments.limb(limb_left),
+                                            rhs_segments.limb(limb_right))
+                partials[(limb_left, limb_right)] = partial
+                tasks.append(StreamTask(
+                    name="gemm_%d_%d" % (limb_left, limb_right),
+                    cost=float(partial.shape[0] * partial.shape[1] * inner),
+                ))
+        self.last_schedule = self.stream_scheduler.schedule(tasks)
+        return fuse_partial_products(partials, self.modulus)
+
+    def _hadamard(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Hadamard products stay on the CUDA cores, as in the paper."""
+        return modular_hadamard(lhs, rhs, self.modulus)

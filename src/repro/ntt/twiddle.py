@@ -1,0 +1,196 @@
+"""Twiddle-factor tables shared by all NTT engines.
+
+One of the paper's key observations (Section IV-B) is that the twiddle
+factor matrices depend only on the CKKS instance parameters ``(N, q)`` and
+can therefore be precomputed once and reused by every NTT in the workload.
+:class:`TwiddleCache` is that precomputation: powers of the negacyclic root
+``psi`` for the butterfly engine, the full ``W`` matrix of Eq. 8 and the
+``W1/W2/W3`` matrices of Eq. 9 for the GEMM engines, all cached per
+``(N, q)`` pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..numtheory.bit_ops import bit_reverse_permutation, ilog2, is_power_of_two
+from ..numtheory.modular import mod_inverse, mod_pow
+from ..numtheory.roots import find_negacyclic_root, root_powers
+
+__all__ = ["TwiddleCache", "split_degree", "get_twiddle_cache"]
+
+
+def split_degree(ring_degree: int) -> Tuple[int, int]:
+    """Split ``N`` into ``N1 * N2`` with ``N1 >= N2``, both powers of two.
+
+    The four-step (Eq. 9) and tensor-core NTT engines reshape the length-N
+    input into an ``N1 x N2`` matrix; a near-square split minimises the
+    total GEMM work and matches the paper's choice of small twiddle
+    matrices.
+    """
+    if not is_power_of_two(ring_degree):
+        raise ValueError("ring degree must be a power of two, got %d" % ring_degree)
+    log_n = ilog2(ring_degree)
+    log_n1 = (log_n + 1) // 2
+    n1 = 1 << log_n1
+    n2 = ring_degree // n1
+    return n1, n2
+
+
+@dataclass
+class TwiddleCache:
+    """Precomputed roots of unity and twiddle matrices for one ``(N, q)``."""
+
+    ring_degree: int
+    modulus: int
+    psi: int = field(init=False)
+    psi_inv: int = field(init=False)
+    degree_inverse: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.ring_degree):
+            raise ValueError("ring degree must be a power of two")
+        if (self.modulus - 1) % (2 * self.ring_degree) != 0:
+            raise ValueError(
+                "modulus %d is not NTT-friendly for N=%d (q != 1 mod 2N)"
+                % (self.modulus, self.ring_degree)
+            )
+        self.psi = find_negacyclic_root(self.ring_degree, self.modulus)
+        self.psi_inv = mod_inverse(self.psi, self.modulus)
+        self.degree_inverse = mod_inverse(self.ring_degree, self.modulus)
+        self._cache: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Butterfly-engine tables
+    # ------------------------------------------------------------------
+    def psi_powers_bitrev(self) -> np.ndarray:
+        """Powers of psi in bit-reversed order (forward butterfly table)."""
+        return self._cached("psi_brv", self._build_psi_powers_bitrev)
+
+    def psi_inv_powers_bitrev(self) -> np.ndarray:
+        """Powers of psi^-1 in bit-reversed order (inverse butterfly table)."""
+        return self._cached("psi_inv_brv", self._build_psi_inv_powers_bitrev)
+
+    def _build_psi_powers_bitrev(self) -> np.ndarray:
+        powers = root_powers(self.psi, self.ring_degree, self.modulus)
+        perm = bit_reverse_permutation(self.ring_degree)
+        return np.asarray(powers, dtype=np.int64)[perm]
+
+    def _build_psi_inv_powers_bitrev(self) -> np.ndarray:
+        powers = root_powers(self.psi_inv, self.ring_degree, self.modulus)
+        perm = bit_reverse_permutation(self.ring_degree)
+        return np.asarray(powers, dtype=np.int64)[perm]
+
+    # ------------------------------------------------------------------
+    # Single-GEMM (Eq. 8) tables
+    # ------------------------------------------------------------------
+    def forward_matrix(self) -> np.ndarray:
+        """The full ``N x N`` forward twiddle matrix ``W[k, n] = psi^(2nk+n)``."""
+        return self._cached("W_forward", self._build_forward_matrix)
+
+    def inverse_matrix(self) -> np.ndarray:
+        """The full inverse matrix ``V[n, k] = psi^-(2nk+n)`` (without 1/N)."""
+        return self._cached("W_inverse", self._build_inverse_matrix)
+
+    def _build_forward_matrix(self) -> np.ndarray:
+        n = self.ring_degree
+        q = self.modulus
+        psi_powers = np.asarray(root_powers(self.psi, 2 * n, q), dtype=np.int64)
+        k = np.arange(n, dtype=np.int64)[:, None]
+        idx = np.arange(n, dtype=np.int64)[None, :]
+        exponents = (2 * idx * k + idx) % (2 * n)
+        return psi_powers[exponents]
+
+    def _build_inverse_matrix(self) -> np.ndarray:
+        n = self.ring_degree
+        q = self.modulus
+        psi_inv_powers = np.asarray(root_powers(self.psi_inv, 2 * n, q), dtype=np.int64)
+        out = np.arange(n, dtype=np.int64)[:, None]
+        k = np.arange(n, dtype=np.int64)[None, :]
+        exponents = (2 * out * k + out) % (2 * n)
+        return psi_inv_powers[exponents]
+
+    # ------------------------------------------------------------------
+    # Four-step (Eq. 9) tables
+    # ------------------------------------------------------------------
+    def four_step_shapes(self) -> Tuple[int, int]:
+        """Return the ``(N1, N2)`` split used by the GEMM decomposition."""
+        return split_degree(self.ring_degree)
+
+    def four_step_forward(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(W1, W2, W3)`` of Eq. 9 for the forward transform.
+
+        * ``W1[k1, n1] = psi_{2N1}^(2 n1 k1 + n1)`` — the inner negacyclic
+          NTT of length N1 applied down the columns;
+        * ``W2[k1, n2] = psi_{2N}^(2 k1 n2 + n2)`` — the Hadamard twiddle;
+        * ``W3[n2, k2] = psi_{2N2}^(2 n2 k2)`` — the outer cyclic DFT.
+        """
+        return self._cached("fourstep_forward", self._build_four_step_forward)
+
+    def four_step_inverse(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(V1, V2, V3)`` for the inverse four-step transform."""
+        return self._cached("fourstep_inverse", self._build_four_step_inverse)
+
+    def _build_four_step_forward(self):
+        n1, n2 = split_degree(self.ring_degree)
+        n = self.ring_degree
+        q = self.modulus
+        # psi_{2N1} = psi ** N2, psi_{2N2} = psi ** N1.
+        psi_2n1 = mod_pow(self.psi, n2, q)
+        psi_2n2 = mod_pow(self.psi, n1, q)
+        psi_2n1_pow = np.asarray(root_powers(psi_2n1, 2 * n1, q), dtype=np.int64)
+        psi_pow = np.asarray(root_powers(self.psi, 2 * n, q), dtype=np.int64)
+        psi_2n2_pow = np.asarray(root_powers(psi_2n2, 2 * n2, q), dtype=np.int64)
+
+        k1 = np.arange(n1, dtype=np.int64)
+        idx1 = np.arange(n1, dtype=np.int64)
+        w1 = psi_2n1_pow[(2 * np.outer(k1, idx1) + idx1[None, :]) % (2 * n1)]
+
+        idx2 = np.arange(n2, dtype=np.int64)
+        w2 = psi_pow[(2 * np.outer(k1, idx2) + idx2[None, :]) % (2 * n)]
+
+        k2 = np.arange(n2, dtype=np.int64)
+        w3 = psi_2n2_pow[(2 * np.outer(idx2, k2)) % (2 * n2)]
+        return w1, w2, w3
+
+    def _build_four_step_inverse(self):
+        n1, n2 = split_degree(self.ring_degree)
+        n = self.ring_degree
+        q = self.modulus
+        psi_inv = self.psi_inv
+        omega_n1_inv = mod_pow(psi_inv, 2 * n2, q)   # inverse N1-th root
+        psi_2n2_inv = mod_pow(psi_inv, n1, q)        # inverse 2*N2-th root
+        omega_n1_inv_pow = np.asarray(root_powers(omega_n1_inv, n1, q), dtype=np.int64)
+        psi_inv_pow = np.asarray(root_powers(psi_inv, 2 * n, q), dtype=np.int64)
+        psi_2n2_inv_pow = np.asarray(root_powers(psi_2n2_inv, 2 * n2, q), dtype=np.int64)
+
+        out1 = np.arange(n1, dtype=np.int64)
+        k1 = np.arange(n1, dtype=np.int64)
+        v1 = omega_n1_inv_pow[np.outer(out1, k1) % n1]
+
+        k2 = np.arange(n2, dtype=np.int64)
+        v2 = psi_inv_pow[(2 * np.outer(out1, k2) + out1[:, None]) % (2 * n)]
+
+        out2 = np.arange(n2, dtype=np.int64)
+        v3 = psi_2n2_inv_pow[(2 * np.outer(k2, out2) + out2[None, :]) % (2 * n2)]
+        return v1, v2, v3
+
+    # ------------------------------------------------------------------
+    def _cached(self, key: str, builder):
+        if key not in self._cache:
+            self._cache[key] = builder()
+        return self._cache[key]
+
+
+@lru_cache(maxsize=128)
+def get_twiddle_cache(ring_degree: int, modulus: int) -> TwiddleCache:
+    """Return a process-wide shared :class:`TwiddleCache` for ``(N, q)``.
+
+    This mirrors the paper's data-reuse argument: every NTT of a CKKS
+    instance shares the same twiddle matrices, so they are built once.
+    """
+    return TwiddleCache(ring_degree, modulus)

@@ -1,0 +1,94 @@
+"""Bit-level utilities: bit reversal permutations and limb segmentation.
+
+``bit_reverse`` / ``bit_reverse_permutation`` support the in-place radix-2
+butterfly NTT.  ``segment_u32`` / ``fuse_segments`` implement the 32-bit →
+4 × 8-bit split of Figure 7 of the paper, which is what lets the NTT GEMMs
+run on INT8 tensor cores without losing precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "bit_reverse",
+    "bit_reverse_permutation",
+    "bit_reverse_vector",
+    "segment_u32",
+    "fuse_segments",
+]
+
+SEGMENT_COUNT = 4
+SEGMENT_BITS = 8
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Return ``log2(n)`` for a power of two ``n``."""
+    if not is_power_of_two(n):
+        raise ValueError("%d is not a power of two" % n)
+    return n.bit_length() - 1
+
+
+def bit_reverse(value: int, bits: int) -> int:
+    """Reverse the lowest ``bits`` bits of ``value``."""
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Return the length-``n`` bit-reversal permutation as an index array."""
+    bits = ilog2(n)
+    indices = np.arange(n, dtype=np.int64)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        reversed_indices[i] = bit_reverse(int(indices[i]), bits)
+    return reversed_indices
+
+
+def bit_reverse_vector(values: np.ndarray) -> np.ndarray:
+    """Return ``values`` permuted into bit-reversed order."""
+    values = np.asarray(values)
+    perm = bit_reverse_permutation(values.shape[-1])
+    return values[..., perm]
+
+
+def segment_u32(matrix: np.ndarray) -> np.ndarray:
+    """Split a matrix of 32-bit unsigned values into four u8 limb matrices.
+
+    Returns an array of shape ``(4,) + matrix.shape`` where segment ``s``
+    holds bits ``[8s, 8s+8)`` of each element, matching Figure 7 of the
+    paper (M0 is the least-significant byte).
+    """
+    values = np.asarray(matrix, dtype=np.uint64)
+    if np.any(values >= (1 << 32)):
+        raise ValueError("segment_u32 expects values below 2**32")
+    segments = np.empty((SEGMENT_COUNT,) + values.shape, dtype=np.uint8)
+    for s in range(SEGMENT_COUNT):
+        segments[s] = (values >> (SEGMENT_BITS * s)) & 0xFF
+    return segments
+
+
+def fuse_segments(segments: np.ndarray) -> np.ndarray:
+    """Recombine limb matrices produced by :func:`segment_u32`.
+
+    The inverse of the segmentation: ``sum_s segments[s] << (8 * s)``.
+    Accepts any integer dtype for the segments (the GEMM path produces
+    int64 partial sums) and returns ``uint64`` values.
+    """
+    segments = np.asarray(segments)
+    if segments.shape[0] != SEGMENT_COUNT:
+        raise ValueError("expected %d segments" % SEGMENT_COUNT)
+    fused = np.zeros(segments.shape[1:], dtype=np.uint64)
+    for s in range(SEGMENT_COUNT):
+        fused += segments[s].astype(np.uint64) << np.uint64(SEGMENT_BITS * s)
+    return fused

@@ -1,0 +1,221 @@
+"""Modular arithmetic primitives used throughout the library.
+
+All NTT and CKKS arithmetic in this reproduction works over prime moduli of
+30 bits or fewer so that a product of two residues fits comfortably in a
+signed 64-bit integer.  This module provides both scalar helpers (pure
+Python integers, used for key generation and reference code) and vectorised
+helpers operating on ``numpy.int64``/``numpy.uint64`` arrays (used by the
+NTT engines and the RNS polynomial layer).
+
+The module also contains software implementations of Barrett and Montgomery
+reduction.  The GPU in the paper has no hardware modulo support, which is
+why TensorFHE goes to great lengths to avoid ``%`` — these classes let the
+rest of the library express exactly the reductions the CUDA kernels would
+perform, and let the tests verify they agree with plain ``%``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "mod_add",
+    "mod_sub",
+    "mod_mul",
+    "mod_pow",
+    "mod_inverse",
+    "mod_neg",
+    "BarrettReducer",
+    "MontgomeryReducer",
+    "vec_mod_add",
+    "vec_mod_sub",
+    "vec_mod_mul",
+    "vec_mod_neg",
+]
+
+
+def mod_add(a: int, b: int, q: int) -> int:
+    """Return ``(a + b) mod q`` for non-negative residues."""
+    s = a + b
+    if s >= q:
+        s -= q
+    return s
+
+
+def mod_sub(a: int, b: int, q: int) -> int:
+    """Return ``(a - b) mod q`` for non-negative residues."""
+    d = a - b
+    if d < 0:
+        d += q
+    return d
+
+
+def mod_neg(a: int, q: int) -> int:
+    """Return ``(-a) mod q``."""
+    return 0 if a == 0 else q - a
+
+
+def mod_mul(a: int, b: int, q: int) -> int:
+    """Return ``(a * b) mod q`` using Python's arbitrary precision."""
+    return (a * b) % q
+
+
+def mod_pow(base: int, exponent: int, q: int) -> int:
+    """Return ``base ** exponent mod q`` (square-and-multiply)."""
+    if exponent < 0:
+        return mod_pow(mod_inverse(base, q), -exponent, q)
+    return pow(base, exponent, q)
+
+
+def mod_inverse(a: int, q: int) -> int:
+    """Return the multiplicative inverse of ``a`` modulo ``q``.
+
+    Raises
+    ------
+    ValueError
+        If ``a`` is not invertible modulo ``q``.
+    """
+    a = a % q
+    if a == 0:
+        raise ValueError("0 has no inverse modulo %d" % q)
+    g, x, _ = _extended_gcd(a, q)
+    if g != 1:
+        raise ValueError("%d is not invertible modulo %d" % (a, q))
+    return x % q
+
+
+def _extended_gcd(a: int, b: int):
+    """Return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_x, x = x, old_x - quotient * x
+        old_y, y = y, old_y - quotient * y
+    return old_r, old_x, old_y
+
+
+@dataclass
+class BarrettReducer:
+    """Barrett reduction for a fixed modulus.
+
+    Precomputes ``mu = floor(2**k / q)`` so that a 2w-bit product can be
+    reduced with two multiplications and a conditional subtraction, exactly
+    as the CUDA kernels in the paper's baselines (e.g. 100x [33]) do.
+    """
+
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if self.modulus <= 1:
+            raise ValueError("modulus must be > 1")
+        self.shift = 2 * self.modulus.bit_length()
+        self.mu = (1 << self.shift) // self.modulus
+
+    def reduce(self, value: int) -> int:
+        """Reduce ``value`` (``0 <= value < q**2``) modulo ``q``."""
+        q = self.modulus
+        estimate = (value * self.mu) >> self.shift
+        remainder = value - estimate * q
+        while remainder >= q:
+            remainder -= q
+        return remainder
+
+    def mul(self, a: int, b: int) -> int:
+        """Return ``a * b mod q`` via Barrett reduction."""
+        return self.reduce(a * b)
+
+
+@dataclass
+class MontgomeryReducer:
+    """Montgomery reduction for a fixed odd modulus.
+
+    Values are kept in the Montgomery domain ``a * R mod q`` with
+    ``R = 2**r``.  Used by the butterfly NTT engine to emulate the
+    modulus-avoiding arithmetic the fastest CPU/GPU NTT libraries use.
+    """
+
+    modulus: int
+
+    def __post_init__(self) -> None:
+        q = self.modulus
+        if q <= 1:
+            raise ValueError("modulus must be > 1")
+        if q % 2 == 0:
+            raise ValueError("Montgomery reduction requires an odd modulus")
+        self.r_bits = q.bit_length()
+        self.r = 1 << self.r_bits
+        self.r_mask = self.r - 1
+        self.r_inv = mod_inverse(self.r % q, q)
+        # q_prime satisfies q * q_prime == -1 (mod R)
+        self.q_prime = (-mod_inverse(q, self.r)) % self.r
+
+    def to_montgomery(self, a: int) -> int:
+        """Map ``a`` into the Montgomery domain."""
+        return (a * self.r) % self.modulus
+
+    def from_montgomery(self, a_mont: int) -> int:
+        """Map a Montgomery-domain value back to a plain residue."""
+        return (a_mont * self.r_inv) % self.modulus
+
+    def reduce(self, t: int) -> int:
+        """Montgomery-reduce ``t`` (``0 <= t < q * R``)."""
+        q = self.modulus
+        m = ((t & self.r_mask) * self.q_prime) & self.r_mask
+        u = (t + m * q) >> self.r_bits
+        if u >= q:
+            u -= q
+        return u
+
+    def mul(self, a_mont: int, b_mont: int) -> int:
+        """Multiply two Montgomery-domain values, result in the domain."""
+        return self.reduce(a_mont * b_mont)
+
+
+def _as_int64(values: np.ndarray) -> np.ndarray:
+    array = np.asarray(values, dtype=np.int64)
+    return array
+
+
+def vec_mod_add(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Element-wise ``(a + b) mod q`` on int64 arrays without overflow."""
+    a = _as_int64(a)
+    b = _as_int64(b)
+    out = a + b
+    np.subtract(out, q, out=out, where=out >= q)
+    return out
+
+
+def vec_mod_sub(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Element-wise ``(a - b) mod q`` on int64 arrays without overflow."""
+    a = _as_int64(a)
+    b = _as_int64(b)
+    out = a - b
+    np.add(out, q, out=out, where=out < 0)
+    return out
+
+
+def vec_mod_neg(a: np.ndarray, q: int) -> np.ndarray:
+    """Element-wise ``(-a) mod q``."""
+    a = _as_int64(a)
+    out = (q - a) % q
+    return out.astype(np.int64)
+
+
+def vec_mod_mul(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Element-wise ``(a * b) mod q``.
+
+    Residues must be below 2**31 so that the product fits in int64; all
+    moduli produced by :mod:`repro.numtheory.primes` satisfy this.
+    """
+    a = _as_int64(a)
+    b = _as_int64(b)
+    if q >= (1 << 31):
+        # Fall back to object arithmetic for oversized moduli.
+        product = a.astype(object) * b.astype(object)
+        return np.asarray(product % q, dtype=np.int64)
+    return (a * b) % q

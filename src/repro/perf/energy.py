@@ -1,0 +1,41 @@
+"""Energy model (paper Table XI).
+
+The paper reports a stable 264 W GPU power draw during TensorFHE execution
+(high utilisation keeps the power flat) and derives operations-per-watt for
+the CKKS operations and joules-per-iteration for the workloads.  The model
+here does the same arithmetic on top of the modelled execution times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["EnergyModel"]
+
+
+@dataclass
+class EnergyModel:
+    """Constant-power energy accounting."""
+
+    power_watts: float = 264.0
+
+    def operations_per_watt(self, operation_time_seconds: float) -> float:
+        """Throughput per watt for an operation of the given amortised latency."""
+        if operation_time_seconds <= 0:
+            raise ValueError("operation time must be positive")
+        throughput = 1.0 / operation_time_seconds
+        return throughput / self.power_watts
+
+    def joules_per_iteration(self, iteration_time_seconds: float) -> float:
+        """Energy of one workload iteration."""
+        if iteration_time_seconds < 0:
+            raise ValueError("iteration time must be non-negative")
+        return iteration_time_seconds * self.power_watts
+
+    def table_xi_operations(self, operation_times_seconds: Dict[str, float]) -> Dict[str, float]:
+        """Ops/W for a dict of operation latencies (Table XI upper half)."""
+        return {
+            operation: self.operations_per_watt(latency)
+            for operation, latency in operation_times_seconds.items()
+        }

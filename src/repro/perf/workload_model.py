@@ -1,0 +1,118 @@
+"""Workload-level performance model (Tables VII/X/XI, Figures 12/13).
+
+Combines the per-operation model with the workload operation mixes: the
+time of a workload is the sum over operations of ``count * amortised
+latency`` (amortisation over the workload's batch size), bootstraps are
+priced from their own operation mix, and the same accounting yields the
+kernel-level and operation-level breakdowns of Figures 12 and 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..gpu.spec import A100, GpuSpec
+from ..workloads.base import OperationCounts, WorkloadSpec
+from ..workloads.catalog import BOOTSTRAP_OPERATIONS
+from .cost_model import CostModelConfig
+from .energy import EnergyModel
+from .kernel_workloads import NttVariant
+from .operation_model import ModelParameters, OperationModel
+
+__all__ = ["WorkloadTimings", "WorkloadModel"]
+
+
+@dataclass
+class WorkloadTimings:
+    """Modelled timing results of one workload run."""
+
+    name: str
+    total_seconds: float
+    operation_seconds: Dict[str, float]
+    kernel_seconds: Dict[str, float]
+    bootstrap_seconds: float
+    energy_joules: float
+
+    def operation_breakdown(self) -> Dict[str, float]:
+        total = sum(self.operation_seconds.values()) or 1.0
+        return {op: t / total for op, t in self.operation_seconds.items()}
+
+    def kernel_breakdown(self) -> Dict[str, float]:
+        total = sum(self.kernel_seconds.values()) or 1.0
+        return {kernel: t / total for kernel, t in self.kernel_seconds.items()}
+
+
+class WorkloadModel:
+    """Prices full workloads on a GPU using the operation model."""
+
+    def __init__(self, *, gpu: GpuSpec = A100, variant: str = NttVariant.GEMM_TCU,
+                 cost_config: CostModelConfig = None,
+                 power_watts: float = 264.0) -> None:
+        self.gpu = gpu
+        self.variant = variant
+        self.cost_config = cost_config
+        self.energy_model = EnergyModel(power_watts)
+
+    # ------------------------------------------------------------------
+    def operation_model_for(self, workload: WorkloadSpec) -> OperationModel:
+        parameters = ModelParameters(
+            ring_degree=workload.ring_degree,
+            level_count=workload.level_count,
+            dnum=workload.dnum,
+            batch_size=workload.batch_size,
+        )
+        return OperationModel(parameters, gpu=self.gpu, variant=self.variant,
+                              cost_config=self.cost_config)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, workload: WorkloadSpec) -> WorkloadTimings:
+        """Model the full execution of ``workload``."""
+        model = self.operation_model_for(workload)
+        counts = workload.total_operations()
+        bootstrap_counts = BOOTSTRAP_OPERATIONS.scaled(workload.bootstraps_per_run)
+
+        operation_seconds: Dict[str, float] = {}
+        kernel_seconds: Dict[str, float] = {}
+        for operation, count in self._merge(counts, bootstrap_counts).items():
+            if count == 0:
+                continue
+            per_op = model.operation_time(operation)
+            elapsed = per_op * count
+            operation_seconds[operation] = elapsed
+            for kernel, share in model.kernel_breakdown(operation).items():
+                kernel_seconds[kernel] = kernel_seconds.get(kernel, 0.0) + elapsed * share
+
+        bootstrap_seconds = sum(
+            model.operation_time(operation) * count
+            for operation, count in bootstrap_counts.as_dict().items()
+        )
+        total = sum(operation_seconds.values())
+        return WorkloadTimings(
+            name=workload.name,
+            total_seconds=total,
+            operation_seconds=operation_seconds,
+            kernel_seconds=kernel_seconds,
+            bootstrap_seconds=bootstrap_seconds,
+            energy_joules=self.energy_model.joules_per_iteration(
+                total / max(1, workload.iterations)),
+        )
+
+    def bootstrap_time(self, workload: WorkloadSpec, batch_size: int = None) -> float:
+        """Seconds for one full bootstrap batch (Table VII configuration)."""
+        model = self.operation_model_for(workload)
+        total = 0.0
+        for operation, count in BOOTSTRAP_OPERATIONS.as_dict().items():
+            if count:
+                total += model.operation_time(operation) * count
+        batch = batch_size if batch_size is not None else workload.batch_size
+        return total * batch
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge(*counts: OperationCounts) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for count in counts:
+            for operation, value in count.as_dict().items():
+                merged[operation] = merged.get(operation, 0) + value
+        return merged

@@ -1,0 +1,87 @@
+"""Fast (approximate) RNS basis conversion — the paper's ``Conv`` kernel.
+
+Given the residues of ``x`` with respect to a basis ``{q_i}``, the fast
+basis conversion computes residues with respect to a different basis
+``{p_j}`` as
+
+    Conv(x)_j = sum_i [x_i * (Q/q_i)^{-1}]_{q_i} * (Q/q_i)  mod p_j
+
+which equals ``x + e*Q`` for a small integer ``e`` (|e| < #primes/2 when
+``x`` is centred) — the standard approximate conversion used by ModUp.
+It is the building block of ModUp, ModDown and the RNS decomposition
+(``Dcomp``) in the paper's hierarchical reconstruction (Table II).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..numtheory.modular import mod_inverse
+from .poly import PolyDomain, RnsPolynomial
+
+__all__ = ["BasisConverter", "convert_basis"]
+
+
+class BasisConverter:
+    """Precomputed constants for converting from one prime basis to another."""
+
+    def __init__(self, source_moduli: Sequence[int], target_moduli: Sequence[int]) -> None:
+        self.source_moduli = tuple(int(q) for q in source_moduli)
+        self.target_moduli = tuple(int(p) for p in target_moduli)
+        if not self.source_moduli:
+            raise ValueError("source basis must not be empty")
+        overlap = set(self.source_moduli) & set(self.target_moduli)
+        if overlap:
+            raise ValueError("source and target bases overlap on %s" % sorted(overlap))
+        source_product = 1
+        for q in self.source_moduli:
+            source_product *= q
+        self.source_product = source_product
+        # q_hat_i = Q / q_i ; q_hat_inv_i = (Q/q_i)^-1 mod q_i
+        self.q_hat = [source_product // q for q in self.source_moduli]
+        self.q_hat_inv = [mod_inverse(h % q, q) for h, q in zip(self.q_hat, self.source_moduli)]
+        # q_hat_i mod p_j, precomputed per target prime.
+        self.q_hat_mod_target = np.asarray(
+            [[h % p for h in self.q_hat] for p in self.target_moduli], dtype=np.int64
+        )
+
+    def convert_residues(self, residues: np.ndarray) -> np.ndarray:
+        """Convert a ``(len(source), N)`` residue matrix to the target basis."""
+        residues = np.asarray(residues, dtype=np.int64)
+        if residues.shape[0] != len(self.source_moduli):
+            raise ValueError("residue matrix does not match the source basis")
+        ring_degree = residues.shape[1]
+        # y_i = [x_i * q_hat_inv_i]_{q_i}
+        y = np.empty_like(residues)
+        for i, q in enumerate(self.source_moduli):
+            y[i] = (residues[i] * self.q_hat_inv[i]) % q
+        out = np.zeros((len(self.target_moduli), ring_degree), dtype=np.int64)
+        for j, p in enumerate(self.target_moduli):
+            accumulator = np.zeros(ring_degree, dtype=np.int64)
+            for i in range(len(self.source_moduli)):
+                term = (y[i] * int(self.q_hat_mod_target[j, i])) % p
+                accumulator = (accumulator + term) % p
+            out[j] = accumulator
+        return out
+
+    def convert(self, polynomial: RnsPolynomial) -> RnsPolynomial:
+        """Convert an :class:`RnsPolynomial` to the target basis.
+
+        The polynomial must be in the coefficient domain (basis conversion
+        operates on integer residues, not NTT values).
+        """
+        if polynomial.domain != PolyDomain.COEFFICIENT:
+            raise ValueError("basis conversion requires the coefficient domain")
+        if tuple(polynomial.moduli) != self.source_moduli:
+            raise ValueError("polynomial basis does not match the converter's source basis")
+        converted = self.convert_residues(polynomial.residues)
+        return RnsPolynomial(polynomial.ring_degree, self.target_moduli, converted,
+                             PolyDomain.COEFFICIENT)
+
+
+def convert_basis(polynomial: RnsPolynomial, target_moduli: Sequence[int]) -> RnsPolynomial:
+    """One-shot convenience wrapper around :class:`BasisConverter`."""
+    converter = BasisConverter(polynomial.moduli, target_moduli)
+    return converter.convert(polynomial)

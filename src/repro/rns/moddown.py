@@ -1,0 +1,58 @@
+"""ModDown: divide a polynomial in the extended basis ``C_l ∪ P`` by ``P``.
+
+The inner product of the key switch produces values of the form
+``P * d * s' + e`` represented over ``C_l ∪ P``.  ModDown removes the
+``P`` factor (with rounding) and returns to the ciphertext basis:
+
+    ModDown(x)_i = [(x_i - Conv([x]_P)_i) * P^{-1}]_{q_i}
+
+where ``Conv`` is the fast basis conversion from the special basis to the
+ciphertext basis.  The result equals ``round(x / P)`` up to the small
+rounding term inherent in the approximate conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..numtheory.modular import mod_inverse
+from .conv import BasisConverter
+from .poly import PolyDomain, RnsPolynomial
+
+__all__ = ["ModDown"]
+
+
+class ModDown:
+    """Exact-division-by-P operator for the extended key-switching basis."""
+
+    def __init__(self, ciphertext_moduli: Sequence[int], special_moduli: Sequence[int]) -> None:
+        self.ciphertext_moduli = tuple(int(q) for q in ciphertext_moduli)
+        self.special_moduli = tuple(int(p) for p in special_moduli)
+        if not self.special_moduli:
+            raise ValueError("ModDown requires at least one special prime")
+        special_product = 1
+        for p in self.special_moduli:
+            special_product *= p
+        self.special_product = special_product
+        self._converter = BasisConverter(self.special_moduli, self.ciphertext_moduli)
+        self._p_inverse = {
+            q: mod_inverse(special_product % q, q) for q in self.ciphertext_moduli
+        }
+
+    def apply(self, polynomial: RnsPolynomial) -> RnsPolynomial:
+        """Return ``round(polynomial / P)`` in the ciphertext basis."""
+        if polynomial.domain != PolyDomain.COEFFICIENT:
+            raise ValueError("ModDown requires the coefficient domain")
+        expected = self.ciphertext_moduli + self.special_moduli
+        if tuple(polynomial.moduli) != expected:
+            raise ValueError("polynomial basis does not match this ModDown instance")
+        special_part = polynomial.restrict_to(self.special_moduli)
+        folded = self._converter.convert_residues(special_part.residues)
+        rows = []
+        for i, q in enumerate(self.ciphertext_moduli):
+            diff = (polynomial.residues[i] - folded[i]) % q
+            rows.append((diff * self._p_inverse[q]) % q)
+        import numpy as np
+
+        return RnsPolynomial(polynomial.ring_degree, self.ciphertext_moduli,
+                             np.stack(rows), PolyDomain.COEFFICIENT)

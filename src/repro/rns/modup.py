@@ -1,0 +1,54 @@
+"""ModUp: raise a decomposed polynomial into the extended basis ``C_l ∪ P``.
+
+Part of the generalized key-switching of the paper (Algorithm 1).  Each
+decomposition slice ``[d]_{Q_j}`` lives in the small group basis ``Q_j``;
+ModUp extends its residues to the full evaluation basis (all active
+ciphertext primes plus the special primes) via fast basis conversion for
+the missing primes and plain copying for the primes already present.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .conv import BasisConverter
+from .poly import PolyDomain, RnsPolynomial
+
+__all__ = ["ModUp"]
+
+
+class ModUp:
+    """Extend a group-basis polynomial to a target basis (Conv + copy)."""
+
+    def __init__(self, group_moduli: Sequence[int], target_moduli: Sequence[int]) -> None:
+        self.group_moduli = tuple(int(q) for q in group_moduli)
+        self.target_moduli = tuple(int(q) for q in target_moduli)
+        missing = [q for q in self.target_moduli if q not in self.group_moduli]
+        self._missing = tuple(missing)
+        self._converter = (
+            BasisConverter(self.group_moduli, self._missing) if missing else None
+        )
+
+    def apply(self, polynomial: RnsPolynomial) -> RnsPolynomial:
+        """Return ``polynomial`` represented in the target basis."""
+        if polynomial.domain != PolyDomain.COEFFICIENT:
+            raise ValueError("ModUp requires the coefficient domain")
+        if tuple(polynomial.moduli) != self.group_moduli:
+            raise ValueError("polynomial basis does not match this ModUp instance")
+        converted = (
+            self._converter.convert_residues(polynomial.residues)
+            if self._converter is not None
+            else np.zeros((0, polynomial.ring_degree), dtype=np.int64)
+        )
+        missing_index = {q: i for i, q in enumerate(self._missing)}
+        group_index = {q: i for i, q in enumerate(self.group_moduli)}
+        rows = []
+        for q in self.target_moduli:
+            if q in group_index:
+                rows.append(polynomial.residues[group_index[q]])
+            else:
+                rows.append(converted[missing_index[q]])
+        return RnsPolynomial(polynomial.ring_degree, self.target_moduli,
+                             np.stack(rows), PolyDomain.COEFFICIENT)

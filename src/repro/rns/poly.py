@@ -1,0 +1,257 @@
+"""RNS polynomials: the central data structure of the CKKS stack.
+
+An :class:`RnsPolynomial` stores one element of ``R_Q = Z_Q[X]/(X^N + 1)``
+as a ``(limbs, N)`` int64 matrix — row ``i`` holds the coefficients modulo
+prime ``moduli[i]``.  Polynomials track whether they are in the coefficient
+or the evaluation (NTT) domain; arithmetic helpers enforce matching domains
+and moduli, mirroring the checks a GPU kernel launcher would perform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..numtheory.crt import CrtContext
+from ..numtheory.modular import vec_mod_add, vec_mod_mul, vec_mod_neg, vec_mod_sub
+from ..ntt.planner import NttPlanner
+
+__all__ = ["PolyDomain", "RnsPolynomial"]
+
+
+class PolyDomain:
+    """Domain tags for RNS polynomials."""
+
+    COEFFICIENT = "coefficient"
+    EVALUATION = "evaluation"
+
+
+@dataclass
+class RnsPolynomial:
+    """A polynomial in RNS representation.
+
+    Parameters
+    ----------
+    ring_degree:
+        The polynomial degree ``N``.
+    moduli:
+        The primes of this polynomial's basis (one row per prime).
+    residues:
+        Int64 array of shape ``(len(moduli), ring_degree)``.
+    domain:
+        Either :data:`PolyDomain.COEFFICIENT` or :data:`PolyDomain.EVALUATION`.
+    """
+
+    ring_degree: int
+    moduli: Sequence[int]
+    residues: np.ndarray
+    domain: str = PolyDomain.COEFFICIENT
+
+    def __post_init__(self) -> None:
+        self.moduli = tuple(int(q) for q in self.moduli)
+        self.residues = np.asarray(self.residues, dtype=np.int64)
+        expected = (len(self.moduli), self.ring_degree)
+        if self.residues.shape != expected:
+            raise ValueError(
+                "residue matrix has shape %s, expected %s"
+                % (self.residues.shape, expected)
+            )
+        if self.domain not in (PolyDomain.COEFFICIENT, PolyDomain.EVALUATION):
+            raise ValueError("unknown polynomial domain %r" % self.domain)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, ring_degree: int, moduli: Sequence[int],
+             domain: str = PolyDomain.COEFFICIENT) -> "RnsPolynomial":
+        """The all-zero polynomial over ``moduli``."""
+        residues = np.zeros((len(tuple(moduli)), ring_degree), dtype=np.int64)
+        return cls(ring_degree, moduli, residues, domain)
+
+    @classmethod
+    def from_integers(cls, coefficients: Iterable[int], moduli: Sequence[int],
+                      ring_degree: int = None) -> "RnsPolynomial":
+        """Build a coefficient-domain polynomial from (possibly signed) integers."""
+        coefficients = [int(c) for c in coefficients]
+        ring_degree = len(coefficients) if ring_degree is None else ring_degree
+        if len(coefficients) != ring_degree:
+            raise ValueError("coefficient count does not match ring degree")
+        moduli = tuple(int(q) for q in moduli)
+        rows = [[c % q for c in coefficients] for q in moduli]
+        return cls(ring_degree, moduli, np.asarray(rows, dtype=np.int64))
+
+    @classmethod
+    def random_uniform(cls, ring_degree: int, moduli: Sequence[int],
+                       rng: np.random.Generator,
+                       domain: str = PolyDomain.COEFFICIENT) -> "RnsPolynomial":
+        """A polynomial with independently uniform residues (used for the mask ``a``)."""
+        moduli = tuple(int(q) for q in moduli)
+        rows = [rng.integers(0, q, ring_degree, dtype=np.int64) for q in moduli]
+        return cls(ring_degree, moduli, np.stack(rows), domain)
+
+    @classmethod
+    def random_ternary(cls, ring_degree: int, moduli: Sequence[int],
+                       rng: np.random.Generator, *,
+                       hamming_weight: int = None) -> "RnsPolynomial":
+        """A ternary polynomial (secret keys); optionally sparse."""
+        if hamming_weight is None:
+            signed = rng.integers(-1, 2, ring_degree)
+        else:
+            hamming_weight = min(hamming_weight, ring_degree)
+            signed = np.zeros(ring_degree, dtype=np.int64)
+            positions = rng.choice(ring_degree, size=hamming_weight, replace=False)
+            signed[positions] = rng.choice([-1, 1], size=hamming_weight)
+        return cls.from_integers(signed, moduli, ring_degree)
+
+    @classmethod
+    def random_gaussian(cls, ring_degree: int, moduli: Sequence[int],
+                        rng: np.random.Generator, *, stddev: float = 3.2) -> "RnsPolynomial":
+        """A small Gaussian error polynomial (LWE noise)."""
+        signed = np.round(rng.normal(0.0, stddev, ring_degree)).astype(np.int64)
+        return cls.from_integers(signed, moduli, ring_degree)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def limb_count(self) -> int:
+        """Number of RNS limbs (primes)."""
+        return len(self.moduli)
+
+    @property
+    def level(self) -> int:
+        """Convenience alias: limbs minus one."""
+        return self.limb_count - 1
+
+    def copy(self) -> "RnsPolynomial":
+        return RnsPolynomial(self.ring_degree, self.moduli, self.residues.copy(), self.domain)
+
+    def limb(self, index: int) -> np.ndarray:
+        """Residues of limb ``index``."""
+        return self.residues[index]
+
+    def to_integers(self, *, centered: bool = True) -> list:
+        """CRT-recombine into big-integer coefficients (coefficient domain only)."""
+        self._require_domain(PolyDomain.COEFFICIENT)
+        crt = CrtContext(self.moduli)
+        return crt.compose_array(self.residues, centered=centered)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (domain- and basis-checked)
+    # ------------------------------------------------------------------
+    def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Element-wise modular addition (the Ele-Add kernel)."""
+        self._check_compatible(other)
+        rows = [vec_mod_add(self.residues[i], other.residues[i], q)
+                for i, q in enumerate(self.moduli)]
+        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows), self.domain)
+
+    def subtract(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Element-wise modular subtraction (the Ele-Sub kernel)."""
+        self._check_compatible(other)
+        rows = [vec_mod_sub(self.residues[i], other.residues[i], q)
+                for i, q in enumerate(self.moduli)]
+        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows), self.domain)
+
+    def negate(self) -> "RnsPolynomial":
+        rows = [vec_mod_neg(self.residues[i], q) for i, q in enumerate(self.moduli)]
+        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows), self.domain)
+
+    def hadamard(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Element-wise modular product (the Hada-Mult kernel).
+
+        Meaningful as polynomial multiplication only in the evaluation
+        domain; callers that need ring multiplication of coefficient-domain
+        polynomials should go through the kernel layer or an NTT engine.
+        """
+        self._check_compatible(other)
+        rows = [vec_mod_mul(self.residues[i], other.residues[i], q)
+                for i, q in enumerate(self.moduli)]
+        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows), self.domain)
+
+    def scalar_multiply(self, scalar: int) -> "RnsPolynomial":
+        """Multiply every residue by an integer scalar."""
+        rows = [vec_mod_mul(self.residues[i],
+                            np.full(self.ring_degree, scalar % q, dtype=np.int64), q)
+                for i, q in enumerate(self.moduli)]
+        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows), self.domain)
+
+    def scalar_multiply_per_limb(self, scalars: Sequence[int]) -> "RnsPolynomial":
+        """Multiply limb ``i`` by ``scalars[i]`` (used by key generation).
+
+        Multiplying by a constant polynomial is the same in either domain,
+        so no domain restriction applies.
+        """
+        if len(scalars) != self.limb_count:
+            raise ValueError("need one scalar per limb")
+        rows = [vec_mod_mul(self.residues[i],
+                            np.full(self.ring_degree, int(scalars[i]) % q, dtype=np.int64), q)
+                for i, q in enumerate(self.moduli)]
+        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows), self.domain)
+
+    # ------------------------------------------------------------------
+    # Domain conversion
+    # ------------------------------------------------------------------
+    def to_evaluation(self, planner: NttPlanner) -> "RnsPolynomial":
+        """Forward-NTT every limb (no-op if already in the evaluation domain)."""
+        if self.domain == PolyDomain.EVALUATION:
+            return self.copy()
+        rows = [planner.engine_for(self.ring_degree, q).forward(self.residues[i])
+                for i, q in enumerate(self.moduli)]
+        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows),
+                             PolyDomain.EVALUATION)
+
+    def to_coefficient(self, planner: NttPlanner) -> "RnsPolynomial":
+        """Inverse-NTT every limb (no-op if already in the coefficient domain)."""
+        if self.domain == PolyDomain.COEFFICIENT:
+            return self.copy()
+        rows = [planner.engine_for(self.ring_degree, q).inverse(self.residues[i])
+                for i, q in enumerate(self.moduli)]
+        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows),
+                             PolyDomain.COEFFICIENT)
+
+    # ------------------------------------------------------------------
+    # Basis manipulation
+    # ------------------------------------------------------------------
+    def restrict_to(self, moduli: Sequence[int]) -> "RnsPolynomial":
+        """Keep only the limbs whose primes appear in ``moduli`` (in that order)."""
+        moduli = tuple(int(q) for q in moduli)
+        index_of = {q: i for i, q in enumerate(self.moduli)}
+        try:
+            rows = [self.residues[index_of[q]] for q in moduli]
+        except KeyError as missing:
+            raise ValueError("prime %s is not a limb of this polynomial" % missing) from None
+        return RnsPolynomial(self.ring_degree, moduli, np.stack(rows), self.domain)
+
+    def drop_last_limb(self) -> "RnsPolynomial":
+        """Remove the last limb (used by RESCALE)."""
+        if self.limb_count <= 1:
+            raise ValueError("cannot drop the only limb")
+        return RnsPolynomial(self.ring_degree, self.moduli[:-1],
+                             self.residues[:-1].copy(), self.domain)
+
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "RnsPolynomial") -> None:
+        if self.ring_degree != other.ring_degree:
+            raise ValueError("ring degrees differ")
+        if self.moduli != other.moduli:
+            raise ValueError("RNS bases differ; align levels first")
+        if self.domain != other.domain:
+            raise ValueError(
+                "polynomial domains differ (%s vs %s)" % (self.domain, other.domain)
+            )
+
+    def _require_domain(self, domain: str) -> None:
+        if self.domain != domain:
+            raise ValueError("operation requires the %s domain" % domain)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RnsPolynomial):
+            return NotImplemented
+        return (self.ring_degree == other.ring_degree
+                and self.moduli == other.moduli
+                and self.domain == other.domain
+                and np.array_equal(self.residues, other.residues))

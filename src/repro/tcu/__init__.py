@@ -1,0 +1,24 @@
+"""Functional Tensor Core Unit simulation: segmentation, INT8 GEMM, fusion."""
+
+from .segmentation import SegmentedMatrix, active_limb_count, limb_weight, segment_matrix
+from .gemm import TILE_K, TILE_M, TILE_N, TcuOverflowError, TcuStats, TensorCoreGemm
+from .fusion import fuse_partial_products, fuse_partial_products_exact
+from .streams import ScheduleResult, StreamScheduler, StreamTask
+
+__all__ = [
+    "SegmentedMatrix",
+    "segment_matrix",
+    "limb_weight",
+    "active_limb_count",
+    "TensorCoreGemm",
+    "TcuStats",
+    "TcuOverflowError",
+    "TILE_M",
+    "TILE_N",
+    "TILE_K",
+    "fuse_partial_products",
+    "fuse_partial_products_exact",
+    "StreamScheduler",
+    "StreamTask",
+    "ScheduleResult",
+]

@@ -1,0 +1,110 @@
+"""Functional simulation of the Tensor Core Unit INT8 GEMM.
+
+A real TCU multiplies u8/s8 operand tiles and accumulates into s32
+registers (Figure 3 of the paper).  :class:`TensorCoreGemm` reproduces that
+contract bit-exactly: operands must fit in 8 bits, the accumulator is a
+32-bit signed integer and overflow of the accumulator raises (or wraps, if
+``wrap_on_overflow`` is set, matching real hardware behaviour).  The class
+also counts MAC operations and emulated tile launches so the performance
+model can translate functional runs into time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TcuStats", "TensorCoreGemm", "TcuOverflowError"]
+
+_INT32_MAX = (1 << 31) - 1
+_INT32_MIN = -(1 << 31)
+
+#: Dimensions of the MMA tile a warp issues on Ampere for int8 operands.
+TILE_M = 16
+TILE_N = 8
+TILE_K = 32
+
+
+class TcuOverflowError(ArithmeticError):
+    """Raised when a partial sum exceeds the s32 accumulator range."""
+
+
+@dataclass
+class TcuStats:
+    """Counters describing the work issued to the simulated tensor cores."""
+
+    gemm_calls: int = 0
+    mac_operations: int = 0
+    tile_launches: int = 0
+    elements_produced: int = 0
+
+    def merge(self, other: "TcuStats") -> None:
+        self.gemm_calls += other.gemm_calls
+        self.mac_operations += other.mac_operations
+        self.tile_launches += other.tile_launches
+        self.elements_produced += other.elements_produced
+
+    def reset(self) -> None:
+        self.gemm_calls = 0
+        self.mac_operations = 0
+        self.tile_launches = 0
+        self.elements_produced = 0
+
+
+@dataclass
+class TensorCoreGemm:
+    """Bit-faithful u8 x u8 -> s32 GEMM with statistics.
+
+    Parameters
+    ----------
+    wrap_on_overflow:
+        If True, accumulator overflow wraps modulo 2**32 (what silicon
+        would do); otherwise :class:`TcuOverflowError` is raised so callers
+        notice invalid parameter choices.
+    """
+
+    wrap_on_overflow: bool = False
+    stats: TcuStats = field(default_factory=TcuStats)
+
+    def multiply(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Return ``lhs @ rhs`` with u8 operands and an s32 accumulator."""
+        lhs = self._check_operand(lhs, "lhs")
+        rhs = self._check_operand(rhs, "rhs")
+        if lhs.shape[1] != rhs.shape[0]:
+            raise ValueError(
+                "inner dimensions do not match: %s @ %s" % (lhs.shape, rhs.shape)
+            )
+        product = lhs.astype(np.int64) @ rhs.astype(np.int64)
+        if np.any(product > _INT32_MAX) or np.any(product < _INT32_MIN):
+            if not self.wrap_on_overflow:
+                raise TcuOverflowError(
+                    "s32 accumulator overflow in simulated TCU GEMM "
+                    "(inner dimension %d is too large for 8-bit operands)"
+                    % lhs.shape[1]
+                )
+            product = ((product - _INT32_MIN) % (1 << 32)) + _INT32_MIN
+        self._record(lhs.shape[0], lhs.shape[1], rhs.shape[1])
+        return product.astype(np.int64)
+
+    def _check_operand(self, operand: np.ndarray, label: str) -> np.ndarray:
+        array = np.asarray(operand)
+        if array.ndim != 2:
+            raise ValueError("%s must be a 2-D matrix" % label)
+        if array.dtype != np.uint8:
+            as_int = np.asarray(array, dtype=np.int64)
+            if np.any(as_int < 0) or np.any(as_int > 0xFF):
+                raise ValueError(
+                    "%s contains values outside the u8 range; segment it first" % label
+                )
+            array = as_int.astype(np.uint8)
+        return array
+
+    def _record(self, m: int, k: int, n: int) -> None:
+        self.stats.gemm_calls += 1
+        self.stats.mac_operations += m * k * n
+        self.stats.elements_produced += m * n
+        tiles_m = -(-m // TILE_M)
+        tiles_n = -(-n // TILE_N)
+        tiles_k = -(-k // TILE_K)
+        self.stats.tile_launches += tiles_m * tiles_n * tiles_k

@@ -1,0 +1,74 @@
+"""Segment-fusion of 32-bit matrices into 8-bit limbs (paper Figure 7).
+
+Tensor Core Units only multiply low-precision operands (INT8 inputs with
+INT32 accumulation), while the NTT operates on 32-bit residues.  TensorFHE
+splits every 32-bit element into four 8-bit limbs, distributes them into
+four limb matrices, runs all limb-pair GEMMs on the TCUs and fuses the
+partial products back with the appropriate power-of-two weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..numtheory.bit_ops import SEGMENT_BITS, SEGMENT_COUNT, segment_u32
+
+__all__ = ["SegmentedMatrix", "segment_matrix", "limb_weight", "active_limb_count"]
+
+
+def limb_weight(limb_index: int) -> int:
+    """Return the weight ``2**(8*limb_index)`` of a limb."""
+    return 1 << (SEGMENT_BITS * limb_index)
+
+
+def active_limb_count(max_value: int) -> int:
+    """Number of limbs actually needed to represent values up to ``max_value``.
+
+    TensorFHE always materialises four limb matrices; knowing how many are
+    non-zero lets the performance model skip all-zero GEMMs, an optimisation
+    the CUTLASS stream scheduler gets for free when a limb matrix is zero.
+    """
+    if max_value < 0:
+        raise ValueError("max_value must be non-negative")
+    count = 0
+    while max_value > 0 and count < SEGMENT_COUNT:
+        count += 1
+        max_value >>= SEGMENT_BITS
+    return max(count, 1)
+
+
+@dataclass
+class SegmentedMatrix:
+    """A 32-bit matrix held as four u8 limb matrices (Figure 7)."""
+
+    limbs: np.ndarray  # shape (4, rows, cols), dtype uint8
+    shape: tuple
+
+    @property
+    def limb_count(self) -> int:
+        return self.limbs.shape[0]
+
+    def limb(self, index: int) -> np.ndarray:
+        """Return limb ``index`` (0 = least significant byte)."""
+        return self.limbs[index]
+
+    def nonzero_limbs(self) -> List[int]:
+        """Indices of limbs that contain at least one non-zero entry."""
+        return [s for s in range(self.limb_count) if np.any(self.limbs[s])]
+
+    def reconstruct(self) -> np.ndarray:
+        """Recombine the limbs into the original uint64 matrix (for tests)."""
+        total = np.zeros(self.shape, dtype=np.uint64)
+        for s in range(self.limb_count):
+            total += self.limbs[s].astype(np.uint64) << np.uint64(SEGMENT_BITS * s)
+        return total
+
+
+def segment_matrix(matrix: np.ndarray) -> SegmentedMatrix:
+    """Split ``matrix`` (values < 2**32) into a :class:`SegmentedMatrix`."""
+    matrix = np.asarray(matrix)
+    limbs = segment_u32(matrix)
+    return SegmentedMatrix(limbs=limbs, shape=matrix.shape)

@@ -1,0 +1,24 @@
+"""Workload models: ResNet-20, logistic regression, LSTM, packed bootstrapping."""
+
+from .base import OperationCounts, WorkloadSpec
+from .catalog import (
+    BOOTSTRAP_OPERATIONS,
+    LOGISTIC_REGRESSION,
+    LSTM,
+    PACKED_BOOTSTRAPPING,
+    RESNET20,
+    WORKLOADS,
+    get_workload,
+)
+
+__all__ = [
+    "OperationCounts",
+    "WorkloadSpec",
+    "RESNET20",
+    "LOGISTIC_REGRESSION",
+    "LSTM",
+    "PACKED_BOOTSTRAPPING",
+    "BOOTSTRAP_OPERATIONS",
+    "WORKLOADS",
+    "get_workload",
+]

@@ -1,0 +1,124 @@
+"""Tests for the operation-level batching layer."""
+
+import numpy as np
+import pytest
+
+from repro.batching import BatchedData, BatchScheduler, Layout, OperationBatcher
+from repro.gpu import A100, V100
+from repro.ntt import create_engine
+from repro.numtheory import generate_ntt_prime
+
+RING_DEGREE = 32
+BATCH = 6
+LIMBS = 3
+
+
+@pytest.fixture(scope="module")
+def modulus():
+    return generate_ntt_prime(24, RING_DEGREE)
+
+
+@pytest.fixture()
+def batch_data(rng, modulus):
+    operations = [rng.integers(0, modulus, (LIMBS, RING_DEGREE), dtype=np.int64)
+                  for _ in range(BATCH)]
+    return BatchedData.from_operations(operations, Layout.B_L_N), operations
+
+
+class TestLayouts:
+    def test_shapes(self, batch_data):
+        batched, _ = batch_data
+        assert (batched.batch_size, batched.limb_count, batched.ring_degree) == \
+            (BATCH, LIMBS, RING_DEGREE)
+
+    def test_layout_conversion_roundtrip(self, batch_data):
+        batched, operations = batch_data
+        converted = batched.convert(Layout.L_B_N).convert(Layout.B_L_N)
+        for i, original in enumerate(operations):
+            assert np.array_equal(converted.operation(i), original)
+
+    def test_level_pack_equivalence(self, batch_data):
+        batched, operations = batch_data
+        other = batched.convert(Layout.L_B_N)
+        for level in range(LIMBS):
+            assert np.array_equal(batched.level_pack(level), other.level_pack(level))
+            expected = np.stack([op[level] for op in operations])
+            assert np.array_equal(batched.level_pack(level), expected)
+
+    def test_contiguity_favors_lbn(self, batch_data):
+        batched, _ = batch_data
+        lbn = batched.convert(Layout.L_B_N)
+        assert lbn.contiguous_run_bytes() == batched.contiguous_run_bytes() * BATCH
+        assert batched.gather_count() == BATCH
+        assert lbn.gather_count() == 1
+
+    def test_unknown_layout_rejected(self, batch_data):
+        batched, _ = batch_data
+        with pytest.raises(ValueError):
+            batched.convert("(N,B,L)")
+        with pytest.raises(ValueError):
+            BatchedData(batched.data, "(X)")
+
+    def test_to_operations_roundtrip(self, batch_data):
+        batched, operations = batch_data
+        unpacked = batched.convert(Layout.L_B_N).to_operations()
+        for original, restored in zip(operations, unpacked):
+            assert np.array_equal(original, restored)
+
+
+class TestOperationBatcher:
+    def test_batched_ntt_matches_individual(self, batch_data, modulus):
+        batched, operations = batch_data
+        engine = create_engine("four_step", RING_DEGREE, modulus)
+        batcher = OperationBatcher(engine)
+        transformed = batcher.forward_ntt(batched)
+        for i, operation in enumerate(operations):
+            expected = np.stack([engine.forward(operation[l]) for l in range(LIMBS)])
+            assert np.array_equal(transformed.operation(i), expected)
+
+    def test_forward_inverse_roundtrip(self, batch_data, modulus):
+        batched, operations = batch_data
+        batcher = OperationBatcher(create_engine("matrix", RING_DEGREE, modulus))
+        restored = batcher.inverse_ntt(batcher.forward_ntt(batched))
+        for i, operation in enumerate(operations):
+            assert np.array_equal(restored.operation(i), operation)
+
+    def test_batched_hadamard_and_add(self, batch_data, modulus, rng):
+        batched, operations = batch_data
+        batcher = OperationBatcher(create_engine("four_step", RING_DEGREE, modulus))
+        product = batcher.hadamard(batched, batched)
+        total = batcher.add(batched, batched)
+        for i, operation in enumerate(operations):
+            assert np.array_equal(product.operation(i), (operation * operation) % modulus)
+            assert np.array_equal(total.operation(i), (2 * operation) % modulus)
+
+    def test_shape_mismatch_rejected(self, batch_data, modulus, rng):
+        batched, _ = batch_data
+        other = BatchedData.from_operations(
+            [rng.integers(0, modulus, (LIMBS, RING_DEGREE)) for _ in range(BATCH - 1)])
+        batcher = OperationBatcher(create_engine("four_step", RING_DEGREE, modulus))
+        with pytest.raises(ValueError):
+            batcher.add(batched, other)
+
+
+class TestBatchScheduler:
+    def test_plan_respects_requested_cap(self):
+        plan = BatchScheduler(A100).plan(1 << 16, 45, requested=128)
+        assert plan.batch_size <= 128
+        assert plan.batch_size >= 1
+        assert plan.working_set_bytes_per_op > 0
+
+    def test_plan_is_power_of_two(self):
+        plan = BatchScheduler(A100).plan(1 << 16, 45)
+        assert plan.batch_size & (plan.batch_size - 1) == 0
+
+    def test_smaller_vram_means_smaller_batch(self):
+        big = BatchScheduler(A100).plan(1 << 16, 57)
+        small = BatchScheduler(V100).plan(1 << 16, 57)
+        assert small.vram_limited_batch <= big.vram_limited_batch
+
+    def test_smaller_parameters_allow_bigger_batches(self):
+        scheduler = BatchScheduler(A100)
+        small_params = scheduler.plan(1 << 13, 10)
+        large_params = scheduler.plan(1 << 16, 57)
+        assert small_params.vram_limited_batch >= large_params.vram_limited_batch

@@ -1,0 +1,196 @@
+"""Tests for the bootstrap components: BSGS, sine evaluation, ModRaise, DFT."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.bootstrap import (
+    BootstrapConfig,
+    Bootstrapper,
+    BsgsLinearTransform,
+    CoeffToSlot,
+    ModRaise,
+    SineEvaluator,
+    SlotToCoeff,
+    bsgs_step_counts,
+    embedding_matrix,
+    evaluate_polynomial,
+    matrix_diagonals,
+    required_rotations,
+    taylor_sine_coefficients,
+)
+
+
+class TestBsgsHelpers:
+    def test_matrix_diagonals_reconstruct(self, rng):
+        matrix = rng.uniform(-1, 1, (8, 8))
+        diagonals = matrix_diagonals(matrix)
+        rebuilt = np.zeros((8, 8))
+        for offset, diagonal in diagonals.items():
+            for i in range(8):
+                rebuilt[i, (i + offset) % 8] = diagonal[i]
+        assert np.allclose(rebuilt, matrix)
+
+    def test_zero_diagonals_skipped(self):
+        diagonals = matrix_diagonals(np.eye(8))
+        assert list(diagonals) == [0]
+
+    def test_step_counts_cover_dimension(self):
+        for dimension in (8, 16, 32, 100):
+            n1, n2 = bsgs_step_counts(dimension)
+            assert n1 * n2 >= dimension
+
+    def test_required_rotations_subset_of_dimension(self):
+        steps = required_rotations(32)
+        assert all(0 < step < 32 for step in steps)
+
+    def test_non_square_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_diagonals(np.zeros((4, 6)))
+
+
+class TestBsgsTransform:
+    def test_identity_matrix(self, toy_bundle, rng):
+        transform = BsgsLinearTransform(toy_bundle.context,
+                                        np.eye(toy_bundle.slot_count))
+        x = toy_bundle.random_slots(rng)
+        ct = toy_bundle.encryptor.encrypt(x)
+        out = transform.apply(ct, toy_bundle.evaluator, toy_bundle.encryptor,
+                              toy_bundle.rotation_keys)
+        assert np.allclose(toy_bundle.decryptor.decrypt_real(out), x, atol=1e-2)
+
+    def test_random_matrix_matches_reference(self, toy_bundle, rng):
+        n = toy_bundle.slot_count
+        matrix = (rng.uniform(-1, 1, (n, n)) + 1j * rng.uniform(-1, 1, (n, n))) / n
+        transform = BsgsLinearTransform(toy_bundle.context, matrix)
+        toy_bundle.keygen  # noqa: B018 - fixture side effect only
+        # Generate any missing rotation keys required by this matrix.
+        needed = [s for s in transform.rotation_steps()
+                  if s not in toy_bundle.rotation_keys.keys]
+        for step in needed:
+            toy_bundle.rotation_keys.add(
+                step, toy_bundle.keygen.generate_rotation_key(toy_bundle.secret_key, step))
+        x = toy_bundle.random_slots(rng)
+        ct = toy_bundle.encryptor.encrypt(x)
+        out = transform.apply(ct, toy_bundle.evaluator, toy_bundle.encryptor,
+                              toy_bundle.rotation_keys)
+        assert np.allclose(toy_bundle.decryptor.decrypt_to_slots(out),
+                           transform.reference(x), atol=1e-2)
+
+    def test_transform_consumes_one_level(self, toy_bundle, rng):
+        transform = BsgsLinearTransform(toy_bundle.context,
+                                        np.eye(toy_bundle.slot_count))
+        ct = toy_bundle.encryptor.encrypt(toy_bundle.random_slots(rng))
+        out = transform.apply(ct, toy_bundle.evaluator, toy_bundle.encryptor,
+                              toy_bundle.rotation_keys)
+        assert out.level == ct.level - 1
+
+    def test_wrong_size_matrix_rejected(self, toy_bundle):
+        with pytest.raises(ValueError):
+            BsgsLinearTransform(toy_bundle.context, np.eye(5))
+
+    def test_zero_matrix_rejected(self, toy_bundle, rng):
+        transform = BsgsLinearTransform(toy_bundle.context,
+                                        np.zeros((toy_bundle.slot_count,
+                                                  toy_bundle.slot_count)))
+        ct = toy_bundle.encryptor.encrypt(toy_bundle.random_slots(rng))
+        with pytest.raises(ValueError):
+            transform.apply(ct, toy_bundle.evaluator, toy_bundle.encryptor,
+                            toy_bundle.rotation_keys)
+
+
+class TestSineEvaluation:
+    def test_taylor_coefficients_match_sin(self):
+        coefficients = taylor_sine_coefficients(15, 1.0)
+        xs = np.linspace(-1, 1, 11)
+        assert np.allclose(evaluate_polynomial(coefficients, xs), np.sin(xs), atol=1e-6)
+
+    def test_only_odd_terms(self):
+        coefficients = taylor_sine_coefficients(9, 2.5)
+        assert all(coefficients[k] == 0.0 for k in range(0, 10, 2))
+
+    def test_homomorphic_polynomial_matches_plain(self, deep_bundle, rng):
+        coefficients = taylor_sine_coefficients(7, 2.0)
+        evaluator = SineEvaluator(deep_bundle.context, coefficients)
+        x = deep_bundle.random_slots(rng)
+        ct = deep_bundle.encryptor.encrypt(x)
+        out = evaluator.apply(ct, deep_bundle.evaluator, deep_bundle.encryptor,
+                              deep_bundle.relinearization_key)
+        expected = evaluate_polynomial(coefficients, x)
+        assert np.allclose(deep_bundle.decryptor.decrypt_real(out), expected, atol=5e-3)
+
+    def test_depth_estimate(self):
+        evaluator = SineEvaluator.__new__(SineEvaluator)
+        evaluator.coefficients = taylor_sine_coefficients(7, 1.0)
+        assert evaluator.multiplicative_depth >= 3
+
+    def test_empty_polynomial_rejected(self, deep_bundle):
+        with pytest.raises(ValueError):
+            SineEvaluator(deep_bundle.context, [])
+
+
+class TestModRaise:
+    def test_requires_level_zero(self, toy_bundle, rng):
+        ct = toy_bundle.encryptor.encrypt(toy_bundle.random_slots(rng))
+        with pytest.raises(ValueError):
+            ModRaise(toy_bundle.context).apply(ct)
+
+    def test_raised_ciphertext_level(self, toy_bundle, rng):
+        ct = toy_bundle.evaluator.drop_to_level(
+            toy_bundle.encryptor.encrypt(toy_bundle.random_slots(rng)), 0)
+        raised = ModRaise(toy_bundle.context).apply(ct)
+        assert raised.level == toy_bundle.context.max_level
+
+    def test_difference_is_multiple_of_q0(self, toy_bundle, rng):
+        """After ModRaise the plaintext differs from the original by q0 * I."""
+        ct = toy_bundle.evaluator.drop_to_level(
+            toy_bundle.encryptor.encrypt(toy_bundle.random_slots(rng)), 0)
+        raised = ModRaise(toy_bundle.context).apply(ct)
+        q0 = toy_bundle.context.basis.ciphertext_primes[0]
+        original = np.asarray([float(c) for c in
+                               toy_bundle.decryptor.decrypt(ct).polynomial.to_integers()])
+        lifted = np.asarray([float(c) for c in
+                             toy_bundle.decryptor.decrypt(raised).polynomial.to_integers()])
+        multiples = (lifted - original) / q0
+        assert np.allclose(multiples, np.round(multiples))
+        assert np.max(np.abs(multiples)) <= toy_bundle.secret_key.hamming_weight
+
+
+class TestHomomorphicDft:
+    def test_embedding_matrix_matches_encoder(self, toy_bundle):
+        """E @ coeffs must equal the encoder's decode (up to the scale)."""
+        context = toy_bundle.context
+        matrix = embedding_matrix(context)
+        rng = np.random.default_rng(5)
+        coefficients = rng.integers(-100, 100, context.ring_degree)
+        direct = matrix @ coefficients
+        decoded = context.encoder.decode(list(coefficients), 1.0)
+        assert np.allclose(direct, decoded, atol=1e-6)
+
+    def test_coeff_to_slot_reference_inverts_slot_to_coeff(self, toy_bundle, rng):
+        """The plaintext references of CtS and StC are mutually inverse."""
+        cts = CoeffToSlot(toy_bundle.context)
+        stc = SlotToCoeff(toy_bundle.context)
+        slots = rng.uniform(-1, 1, toy_bundle.slot_count) + \
+            1j * rng.uniform(-1, 1, toy_bundle.slot_count)
+        low, high = cts.reference(slots)
+        reconstructed = stc.reference(low, high)
+        assert np.allclose(reconstructed, slots, atol=1e-8)
+
+    def test_rotation_steps_listed(self, toy_bundle):
+        assert len(CoeffToSlot(toy_bundle.context).rotation_steps()) > 0
+        assert len(SlotToCoeff(toy_bundle.context).rotation_steps()) > 0
+
+
+class TestBootstrapper:
+    def test_config_depth_estimate(self):
+        config = BootstrapConfig(taylor_degree=7, double_angle_iterations=2)
+        assert config.eval_mod_depth >= 5
+
+    def test_required_rotations_and_reference_mod(self, deep_bundle):
+        bootstrapper = Bootstrapper(deep_bundle.context)
+        assert len(bootstrapper.required_rotation_steps()) > 0
+        q0 = deep_bundle.context.basis.ciphertext_primes[0]
+        values = np.asarray([0.0, 1.0, -2.0, 100.0])
+        approx = bootstrapper.reference_mod(values)
+        # For |t| << q0 the scaled sine is close to the identity.
+        assert np.allclose(approx, values, atol=1e-2)

@@ -1,0 +1,113 @@
+"""Tests for CKKS parameters, presets and the canonical-embedding encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks import CkksParameters, FUNCTIONAL_PARAMETERS, PAPER_PARAMETERS, get_preset
+from repro.ckks.encoder import CkksEncoder
+
+
+@pytest.fixture(scope="module")
+def encoder() -> CkksEncoder:
+    return CkksEncoder(CkksParameters(ring_degree=1 << 8, level_count=3, name="enc-test"))
+
+
+class TestParameters:
+    def test_paper_presets_match_table_v(self):
+        default = PAPER_PARAMETERS["default"]
+        assert default.ring_degree == 1 << 16
+        assert default.max_level == 44
+        assert PAPER_PARAMETERS["lstm"].ring_degree == 1 << 15
+        assert PAPER_PARAMETERS["packed_bootstrapping"].max_level == 57
+        assert PAPER_PARAMETERS["resnet20"].batch_size == 64
+
+    def test_functional_presets_are_small(self):
+        for preset in FUNCTIONAL_PARAMETERS.values():
+            assert preset.ring_degree <= 1 << 12
+
+    def test_get_preset_unknown(self):
+        with pytest.raises(KeyError):
+            get_preset("nope")
+
+    def test_derived_properties(self):
+        params = CkksParameters(ring_degree=1 << 8, level_count=6, dnum=3, scale_bits=20)
+        assert params.slot_count == 128
+        assert params.max_level == 5
+        assert params.scale == 2.0 ** 20
+        assert params.alpha == 2
+        assert params.log_pq == 6 * params.prime_bits + params.special_prime_bits
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CkksParameters(ring_degree=100, level_count=3)
+        with pytest.raises(ValueError):
+            CkksParameters(ring_degree=64, level_count=0)
+        with pytest.raises(ValueError):
+            CkksParameters(ring_degree=64, level_count=3, dnum=0)
+
+    def test_describe_contains_key_fields(self):
+        info = get_preset("toy").describe()
+        assert info["N"] == 64 and "dnum" in info and "logPQ" in info
+
+
+class TestEncoder:
+    def test_roundtrip_real(self, encoder, rng):
+        values = rng.uniform(-10, 10, encoder.slot_count)
+        decoded = encoder.decode(encoder.encode(values))
+        assert np.allclose(decoded.real, values, atol=1e-5)
+        assert np.allclose(decoded.imag, 0.0, atol=1e-5)
+
+    def test_roundtrip_complex(self, encoder, rng):
+        values = rng.uniform(-1, 1, encoder.slot_count) + 1j * rng.uniform(-1, 1, encoder.slot_count)
+        decoded = encoder.decode(encoder.encode(values))
+        assert np.allclose(decoded, values, atol=1e-5)
+
+    def test_coefficients_are_integers(self, encoder):
+        encoded = encoder.encode([1.5, -2.25, 3.0])
+        assert all(float(c).is_integer() for c in encoded)
+
+    def test_short_input_zero_padded(self, encoder):
+        decoded = encoder.decode(encoder.encode([1.0, 2.0]))
+        assert np.allclose(decoded[:2].real, [1.0, 2.0], atol=1e-5)
+        assert np.allclose(decoded[2:], 0.0, atol=1e-5)
+
+    def test_too_many_values_rejected(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.encode(np.ones(encoder.slot_count + 1))
+
+    def test_wrong_coefficient_count_rejected(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.decode([1, 2, 3])
+
+    def test_encoding_is_linear(self, encoder, rng):
+        a = rng.uniform(-1, 1, encoder.slot_count)
+        b = rng.uniform(-1, 1, encoder.slot_count)
+        lhs = np.asarray(encoder.encode(a), dtype=float) + np.asarray(encoder.encode(b), dtype=float)
+        rhs = np.asarray(encoder.encode(a + b), dtype=float)
+        # Rounding happens per encode, so allow +-1 per coefficient.
+        assert np.max(np.abs(lhs - rhs)) <= 2.0
+
+    def test_scale_controls_precision(self, encoder, rng):
+        values = rng.uniform(-1, 1, encoder.slot_count)
+        coarse = encoder.decode(encoder.encode(values, scale=2.0 ** 10), scale=2.0 ** 10)
+        fine = encoder.decode(encoder.encode(values, scale=2.0 ** 30), scale=2.0 ** 30)
+        assert np.max(np.abs(fine.real - values)) < np.max(np.abs(coarse.real - values))
+
+    def test_slot_rotation_reference(self, encoder):
+        values = list(range(encoder.slot_count))
+        rotated = encoder.slot_rotation(values, 3)
+        assert rotated[:5] == [3, 4, 5, 6, 7]
+
+    def test_max_encodable_magnitude_positive(self, encoder):
+        assert encoder.max_encodable_magnitude(1 << 60) > 0
+
+    @given(st.integers(min_value=0, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, seed):
+        encoder = CkksEncoder(CkksParameters(ring_degree=1 << 6, level_count=3))
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-5, 5, encoder.slot_count)
+        decoded = encoder.decode(encoder.encode(values))
+        assert np.allclose(decoded.real, values, atol=1e-4)

@@ -1,0 +1,75 @@
+"""Shared fixtures: small CKKS instances with full key material.
+
+Key generation (especially the per-level switch keys) dominates test time,
+so the contexts are session-scoped and shared across test modules.  All
+functional CKKS tests run at reduced ring degree — the algorithms are
+degree-agnostic, which is exactly what lets a pure-Python reproduction
+validate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CkksContext,
+    CkksParameters,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+)
+
+
+class CkksBundle:
+    """A CKKS context with all key material and helper objects."""
+
+    def __init__(self, parameters: CkksParameters, seed: int,
+                 rotation_steps) -> None:
+        self.context = CkksContext(parameters, seed=seed)
+        self.keygen = KeyGenerator(self.context)
+        self.secret_key = self.keygen.generate_secret_key()
+        self.public_key = self.keygen.generate_public_key(self.secret_key)
+        self.relinearization_key = self.keygen.generate_relinearization_key(self.secret_key)
+        self.rotation_keys = self.keygen.generate_rotation_keys(self.secret_key,
+                                                                rotation_steps)
+        self.encryptor = Encryptor(self.context, self.public_key, self.secret_key)
+        self.decryptor = Decryptor(self.context, self.secret_key)
+        self.evaluator = Evaluator(self.context)
+
+    @property
+    def slot_count(self) -> int:
+        return self.context.slot_count
+
+    def random_slots(self, rng: np.random.Generator, scale: float = 1.0) -> np.ndarray:
+        return rng.uniform(-scale, scale, self.slot_count)
+
+
+@pytest.fixture(scope="session")
+def toy_bundle() -> CkksBundle:
+    """N=64, 3 levels — the fastest functional instance."""
+    parameters = CkksParameters(ring_degree=1 << 6, level_count=3, dnum=3,
+                                secret_hamming_weight=8, name="toy")
+    return CkksBundle(parameters, seed=101, rotation_steps=(1, 2, 4, 8))
+
+
+@pytest.fixture(scope="session")
+def small_bundle() -> CkksBundle:
+    """N=256, 4 levels, dnum=2 — exercises multi-prime decomposition groups."""
+    parameters = CkksParameters(ring_degree=1 << 8, level_count=4, dnum=2,
+                                secret_hamming_weight=16, name="small")
+    return CkksBundle(parameters, seed=202, rotation_steps=(1, 2, 4, 16))
+
+
+@pytest.fixture(scope="session")
+def deep_bundle() -> CkksBundle:
+    """N=64, 8 levels — used by the bootstrap-component tests."""
+    parameters = CkksParameters(ring_degree=1 << 6, level_count=8, dnum=4,
+                                secret_hamming_weight=8, name="deep")
+    return CkksBundle(parameters, seed=303, rotation_steps=(1, 2, 4, 8))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)

@@ -1,0 +1,154 @@
+"""Tests for scalar/vector modular arithmetic and software reducers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numtheory import (
+    BarrettReducer,
+    MontgomeryReducer,
+    mod_add,
+    mod_inverse,
+    mod_mul,
+    mod_neg,
+    mod_pow,
+    mod_sub,
+    vec_mod_add,
+    vec_mod_mul,
+    vec_mod_neg,
+    vec_mod_sub,
+)
+
+PRIME = 998244353  # a classic NTT prime
+SMALL_PRIME = 7681
+
+
+class TestScalarOps:
+    def test_mod_add_wraps(self):
+        assert mod_add(PRIME - 1, 5, PRIME) == 4
+
+    def test_mod_add_no_wrap(self):
+        assert mod_add(3, 4, PRIME) == 7
+
+    def test_mod_sub_wraps(self):
+        assert mod_sub(2, 5, PRIME) == PRIME - 3
+
+    def test_mod_neg_zero(self):
+        assert mod_neg(0, PRIME) == 0
+
+    def test_mod_neg_nonzero(self):
+        assert mod_neg(10, PRIME) == PRIME - 10
+
+    def test_mod_mul_matches_python(self):
+        assert mod_mul(123456789, 987654321, PRIME) == (123456789 * 987654321) % PRIME
+
+    def test_mod_pow_positive(self):
+        assert mod_pow(3, 20, PRIME) == pow(3, 20, PRIME)
+
+    def test_mod_pow_negative_exponent(self):
+        value = mod_pow(3, -1, PRIME)
+        assert (value * 3) % PRIME == 1
+
+    def test_mod_inverse_roundtrip(self):
+        inverse = mod_inverse(123456, PRIME)
+        assert (inverse * 123456) % PRIME == 1
+
+    def test_mod_inverse_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            mod_inverse(0, PRIME)
+
+    def test_mod_inverse_non_coprime_raises(self):
+        with pytest.raises(ValueError):
+            mod_inverse(6, 9)
+
+
+class TestBarrett:
+    def test_reduce_matches_modulo(self):
+        reducer = BarrettReducer(SMALL_PRIME)
+        for value in (0, 1, SMALL_PRIME - 1, SMALL_PRIME, SMALL_PRIME ** 2 - 1):
+            assert reducer.reduce(value) == value % SMALL_PRIME
+
+    def test_mul_matches_modulo(self):
+        reducer = BarrettReducer(PRIME)
+        assert reducer.mul(PRIME - 1, PRIME - 2) == (PRIME - 1) * (PRIME - 2) % PRIME
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            BarrettReducer(1)
+
+    @given(st.integers(min_value=0, max_value=SMALL_PRIME ** 2 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_reduce_property(self, value):
+        assert BarrettReducer(SMALL_PRIME).reduce(value) == value % SMALL_PRIME
+
+
+class TestMontgomery:
+    def test_roundtrip(self):
+        reducer = MontgomeryReducer(PRIME)
+        for value in (0, 1, 12345, PRIME - 1):
+            assert reducer.from_montgomery(reducer.to_montgomery(value)) == value
+
+    def test_mul_matches_modulo(self):
+        reducer = MontgomeryReducer(SMALL_PRIME)
+        a, b = 1234, 5678 % SMALL_PRIME
+        product = reducer.from_montgomery(
+            reducer.mul(reducer.to_montgomery(a), reducer.to_montgomery(b)))
+        assert product == (a * b) % SMALL_PRIME
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            MontgomeryReducer(1 << 10)
+
+    @given(st.integers(min_value=0, max_value=SMALL_PRIME - 1),
+           st.integers(min_value=0, max_value=SMALL_PRIME - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_mul_property(self, a, b):
+        reducer = MontgomeryReducer(SMALL_PRIME)
+        got = reducer.from_montgomery(
+            reducer.mul(reducer.to_montgomery(a), reducer.to_montgomery(b)))
+        assert got == (a * b) % SMALL_PRIME
+
+
+class TestVectorOps:
+    def test_vec_add_matches_scalar(self, rng):
+        a = rng.integers(0, PRIME, 128)
+        b = rng.integers(0, PRIME, 128)
+        assert np.array_equal(vec_mod_add(a, b, PRIME), (a + b) % PRIME)
+
+    def test_vec_sub_matches_scalar(self, rng):
+        a = rng.integers(0, PRIME, 128)
+        b = rng.integers(0, PRIME, 128)
+        assert np.array_equal(vec_mod_sub(a, b, PRIME), (a - b) % PRIME)
+
+    def test_vec_neg(self, rng):
+        a = rng.integers(0, PRIME, 64)
+        assert np.array_equal(vec_mod_neg(a, PRIME), (-a) % PRIME)
+
+    def test_vec_mul_no_overflow(self, rng):
+        # Products of two ~30-bit residues must be exact in int64.
+        q = (1 << 30) - 35  # a prime-sized modulus near 2^30
+        a = rng.integers(0, q, 256)
+        b = rng.integers(0, q, 256)
+        expected = (a.astype(object) * b.astype(object)) % q
+        assert np.array_equal(vec_mod_mul(a, b, q), np.asarray(expected, dtype=np.int64))
+
+    def test_vec_mul_large_modulus_falls_back(self, rng):
+        q = (1 << 40) + 15
+        a = rng.integers(0, 1 << 35, 16)
+        b = rng.integers(0, 1 << 35, 16)
+        expected = (a.astype(object) * b.astype(object)) % q
+        assert np.array_equal(vec_mod_mul(a, b, q), np.asarray(expected, dtype=np.int64))
+
+    @given(st.lists(st.integers(min_value=0, max_value=SMALL_PRIME - 1),
+                    min_size=1, max_size=32),
+           st.lists(st.integers(min_value=0, max_value=SMALL_PRIME - 1),
+                    min_size=1, max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_vec_ops_properties(self, a_list, b_list):
+        size = min(len(a_list), len(b_list))
+        a = np.asarray(a_list[:size], dtype=np.int64)
+        b = np.asarray(b_list[:size], dtype=np.int64)
+        assert np.array_equal(vec_mod_add(a, b, SMALL_PRIME), (a + b) % SMALL_PRIME)
+        assert np.array_equal(vec_mod_sub(a, b, SMALL_PRIME), (a - b) % SMALL_PRIME)
+        assert np.array_equal(vec_mod_mul(a, b, SMALL_PRIME), (a * b) % SMALL_PRIME)

@@ -1,0 +1,165 @@
+"""Tests for prime generation, roots of unity, CRT and bit utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numtheory import (
+    CrtContext,
+    bit_reverse,
+    bit_reverse_permutation,
+    bit_reverse_vector,
+    factorize,
+    find_negacyclic_root,
+    find_primitive_root,
+    find_root_of_unity,
+    fuse_segments,
+    generate_ntt_prime,
+    generate_ntt_primes,
+    ilog2,
+    is_power_of_two,
+    is_prime,
+    mod_pow,
+    next_prime,
+    previous_prime,
+    root_powers,
+    segment_u32,
+)
+
+
+class TestPrimes:
+    @pytest.mark.parametrize("value,expected", [
+        (0, False), (1, False), (2, True), (3, True), (4, False),
+        (97, True), (561, False), (7919, True), (998244353, True),
+        ((1 << 31) - 1, True),
+    ])
+    def test_is_prime(self, value, expected):
+        assert is_prime(value) is expected
+
+    def test_next_prime(self):
+        assert next_prime(13) == 17
+        assert next_prime(1) == 2
+
+    def test_previous_prime(self):
+        assert previous_prime(20) == 19
+        with pytest.raises(ValueError):
+            previous_prime(2)
+
+    @pytest.mark.parametrize("ring_degree", [64, 256, 1024])
+    def test_generate_ntt_prime_congruence(self, ring_degree):
+        prime = generate_ntt_prime(28, ring_degree)
+        assert is_prime(prime)
+        assert (prime - 1) % (2 * ring_degree) == 0
+
+    def test_generate_ntt_primes_distinct(self):
+        primes = generate_ntt_primes(5, 28, 128)
+        assert len(set(primes)) == 5
+        for prime in primes:
+            assert (prime - 1) % 256 == 0
+
+    def test_generate_avoids_given_primes(self):
+        first = generate_ntt_prime(20, 64)
+        second = generate_ntt_prime(20, 64, avoid={first})
+        assert first != second
+
+
+class TestRoots:
+    def test_factorize(self):
+        assert factorize(360) == {2: 3, 3: 2, 5: 1}
+
+    def test_primitive_root_order(self):
+        q = 7681
+        g = find_primitive_root(q)
+        assert mod_pow(g, q - 1, q) == 1
+        assert mod_pow(g, (q - 1) // 2, q) != 1
+
+    def test_root_of_unity_order(self):
+        q = generate_ntt_prime(20, 64)
+        root = find_root_of_unity(128, q)
+        assert mod_pow(root, 128, q) == 1
+        assert mod_pow(root, 64, q) != 1
+
+    def test_negacyclic_root_squares_to_minus_one_at_degree(self):
+        q = generate_ntt_prime(20, 64)
+        psi = find_negacyclic_root(64, q)
+        assert mod_pow(psi, 64, q) == q - 1
+
+    def test_root_powers_length_and_recursion(self):
+        q = 97
+        powers = root_powers(5, 10, q)
+        assert len(powers) == 10
+        for i in range(1, 10):
+            assert powers[i] == powers[i - 1] * 5 % q
+
+    def test_root_of_unity_missing_order_raises(self):
+        with pytest.raises(ValueError):
+            find_root_of_unity(64, 97)  # 64 does not divide 96
+
+
+class TestCrt:
+    def test_roundtrip(self):
+        crt = CrtContext([97, 193, 257])
+        value = 123456
+        assert crt.compose(crt.decompose(value)) == value
+
+    def test_centered_roundtrip(self):
+        crt = CrtContext([97, 193])
+        assert crt.compose_centered(crt.decompose(-1234 % (97 * 193))) == -1234
+
+    def test_array_roundtrip(self):
+        crt = CrtContext([97, 193, 257])
+        values = [0, 1, -5 % crt.modulus_product, 123456]
+        matrix = crt.decompose_array(values)
+        assert matrix.shape == (3, 4)
+        composed = crt.compose_array(matrix, centered=False)
+        assert composed == [v % crt.modulus_product for v in values]
+
+    def test_duplicate_moduli_rejected(self):
+        with pytest.raises(ValueError):
+            CrtContext([97, 97])
+
+    @given(st.integers(min_value=0, max_value=97 * 193 * 257 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_crt_bijection_property(self, value):
+        crt = CrtContext([97, 193, 257])
+        assert crt.compose(crt.decompose(value)) == value
+
+
+class TestBitOps:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(1024)
+        assert not is_power_of_two(0) and not is_power_of_two(36)
+
+    def test_ilog2(self):
+        assert ilog2(1) == 0 and ilog2(4096) == 12
+        with pytest.raises(ValueError):
+            ilog2(12)
+
+    def test_bit_reverse_scalar(self):
+        assert bit_reverse(0b0011, 4) == 0b1100
+        assert bit_reverse(1, 3) == 4
+
+    def test_bit_reverse_permutation_is_involution(self):
+        perm = bit_reverse_permutation(64)
+        assert np.array_equal(perm[perm], np.arange(64))
+
+    def test_bit_reverse_vector(self, rng):
+        data = rng.integers(0, 100, 32)
+        assert np.array_equal(bit_reverse_vector(bit_reverse_vector(data)), data)
+
+    def test_segment_fuse_roundtrip(self, rng):
+        matrix = rng.integers(0, 1 << 32, (8, 8), dtype=np.uint64)
+        segments = segment_u32(matrix)
+        assert segments.shape == (4, 8, 8)
+        assert np.array_equal(fuse_segments(segments), matrix)
+
+    def test_segment_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            segment_u32(np.asarray([[1 << 33]], dtype=np.uint64))
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_segment_fuse_property(self, value):
+        matrix = np.asarray([[value]], dtype=np.uint64)
+        assert int(fuse_segments(segment_u32(matrix))[0, 0]) == value

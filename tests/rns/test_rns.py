@@ -1,0 +1,262 @@
+"""Tests for the RNS layer: bases, polynomials, Conv, ModUp, ModDown."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ntt import NttPlanner
+from repro.numtheory import CrtContext, generate_ntt_primes
+from repro.rns import (
+    BasisConverter,
+    ModDown,
+    ModUp,
+    PolyDomain,
+    RnsBasis,
+    RnsPolynomial,
+    build_default_basis,
+    convert_basis,
+)
+
+RING_DEGREE = 32
+
+
+@pytest.fixture(scope="module")
+def basis() -> RnsBasis:
+    return build_default_basis(RING_DEGREE, 4, prime_bits=24, special_count=2,
+                               special_bits=26)
+
+
+@pytest.fixture(scope="module")
+def planner() -> NttPlanner:
+    return NttPlanner("four_step")
+
+
+def _random_poly(rng, moduli, domain=PolyDomain.COEFFICIENT):
+    rows = [rng.integers(0, q, RING_DEGREE, dtype=np.int64) for q in moduli]
+    return RnsPolynomial(RING_DEGREE, moduli, np.stack(rows), domain)
+
+
+class TestRnsBasis:
+    def test_level_accessors(self, basis):
+        assert basis.max_level == 3
+        assert len(basis.primes_at_level(2)) == 3
+        assert basis.modulus_at_level(1) == basis.ciphertext_primes[0] * basis.ciphertext_primes[1]
+
+    def test_extended_primes(self, basis):
+        extended = basis.extended_primes_at_level(1)
+        assert extended == basis.primes_at_level(1) + basis.special_primes
+
+    def test_special_product(self, basis):
+        product = 1
+        for p in basis.special_primes:
+            product *= p
+        assert basis.special_product == product
+
+    def test_decomposition_groups_cover_chain(self, basis):
+        groups = basis.decomposition_groups(3, 2)
+        flattened = [q for group in groups for q in group]
+        assert tuple(flattened) == basis.primes_at_level(3)
+
+    def test_decomposition_groups_at_low_level(self, basis):
+        groups = basis.decomposition_groups(0, 2)
+        assert len(groups) == 1
+        assert groups[0] == (basis.ciphertext_primes[0],)
+
+    def test_invalid_level(self, basis):
+        with pytest.raises(ValueError):
+            basis.primes_at_level(99)
+
+    def test_non_ntt_friendly_prime_rejected(self):
+        with pytest.raises(ValueError):
+            RnsBasis(RING_DEGREE, [97])  # 97 != 1 mod 64
+
+    def test_duplicate_primes_rejected(self):
+        primes = generate_ntt_primes(1, 24, RING_DEGREE)
+        with pytest.raises(ValueError):
+            RnsBasis(RING_DEGREE, primes + primes)
+
+    def test_log_total_modulus(self, basis):
+        assert basis.log_total_modulus() > basis.log_total_modulus(0)
+
+
+class TestRnsPolynomial:
+    def test_from_integers_roundtrip(self, basis):
+        coefficients = list(range(-16, 16))
+        poly = RnsPolynomial.from_integers(coefficients, basis.primes_at_level(2))
+        assert poly.to_integers() == coefficients
+
+    def test_add_matches_integers(self, basis, rng):
+        moduli = basis.primes_at_level(2)
+        crt = CrtContext(moduli)
+        a = _random_poly(rng, moduli)
+        b = _random_poly(rng, moduli)
+        total = a.add(b)
+        for i in range(RING_DEGREE):
+            expected = (crt.compose([int(a.residues[l, i]) for l in range(3)])
+                        + crt.compose([int(b.residues[l, i]) for l in range(3)])) % crt.modulus_product
+            assert crt.compose([int(total.residues[l, i]) for l in range(3)]) == expected
+
+    def test_subtract_then_add_is_identity(self, basis, rng):
+        moduli = basis.primes_at_level(2)
+        a = _random_poly(rng, moduli)
+        b = _random_poly(rng, moduli)
+        assert a.subtract(b).add(b) == a
+
+    def test_negate_twice(self, basis, rng):
+        a = _random_poly(rng, basis.primes_at_level(1))
+        assert a.negate().negate() == a
+
+    def test_hadamard_is_elementwise(self, basis, rng):
+        moduli = basis.primes_at_level(1)
+        a = _random_poly(rng, moduli)
+        b = _random_poly(rng, moduli)
+        product = a.hadamard(b)
+        assert np.array_equal(product.residues[0],
+                              (a.residues[0] * b.residues[0]) % moduli[0])
+
+    def test_scalar_multiply(self, basis, rng):
+        moduli = basis.primes_at_level(1)
+        a = _random_poly(rng, moduli)
+        tripled = a.scalar_multiply(3)
+        assert tripled == a.add(a).add(a)
+
+    def test_scalar_multiply_per_limb(self, basis, rng):
+        moduli = basis.primes_at_level(1)
+        a = _random_poly(rng, moduli)
+        scaled = a.scalar_multiply_per_limb([1, 2])
+        assert np.array_equal(scaled.residues[0], a.residues[0])
+        assert np.array_equal(scaled.residues[1], (2 * a.residues[1]) % moduli[1])
+
+    def test_domain_mismatch_rejected(self, basis, rng):
+        moduli = basis.primes_at_level(1)
+        a = _random_poly(rng, moduli)
+        b = _random_poly(rng, moduli, PolyDomain.EVALUATION)
+        with pytest.raises(ValueError):
+            a.add(b)
+
+    def test_basis_mismatch_rejected(self, basis, rng):
+        a = _random_poly(rng, basis.primes_at_level(1))
+        b = _random_poly(rng, basis.primes_at_level(2))
+        with pytest.raises(ValueError):
+            a.add(b)
+
+    def test_ntt_roundtrip_preserves_poly(self, basis, planner, rng):
+        a = _random_poly(rng, basis.primes_at_level(2))
+        assert a.to_evaluation(planner).to_coefficient(planner) == a
+
+    def test_eval_domain_hadamard_is_ring_multiplication(self, basis, planner):
+        """Hadamard in the NTT domain == negacyclic polynomial product."""
+        moduli = basis.primes_at_level(0)
+        x_poly = RnsPolynomial.from_integers([0, 1] + [0] * (RING_DEGREE - 2), moduli)
+        y_poly = RnsPolynomial.from_integers([3] + [0] * (RING_DEGREE - 1), moduli)
+        product = (x_poly.to_evaluation(planner)
+                   .hadamard(y_poly.to_evaluation(planner))
+                   .to_coefficient(planner))
+        expected = [0, 3] + [0] * (RING_DEGREE - 2)
+        assert product.to_integers(centered=False) == expected
+
+    def test_restrict_and_drop(self, basis, rng):
+        moduli = basis.primes_at_level(2)
+        a = _random_poly(rng, moduli)
+        restricted = a.restrict_to(moduli[:2])
+        assert restricted.moduli == moduli[:2]
+        assert a.drop_last_limb() == restricted
+
+    def test_drop_last_limb_of_single_limb_rejected(self, basis, rng):
+        a = _random_poly(rng, basis.primes_at_level(0))
+        with pytest.raises(ValueError):
+            a.drop_last_limb()
+
+    def test_random_ternary_hamming_weight(self, basis):
+        rng = np.random.default_rng(7)
+        poly = RnsPolynomial.random_ternary(RING_DEGREE, basis.primes_at_level(0),
+                                            rng, hamming_weight=5)
+        nonzero = np.count_nonzero(poly.residues[0] % basis.ciphertext_primes[0])
+        assert nonzero == 5
+
+
+class TestBasisConversion:
+    def test_exact_for_single_prime_source(self, basis, rng):
+        """With a single source prime the fast conversion is exact
+        (q_hat = 1, so no approximation error term arises)."""
+        source = basis.primes_at_level(0)
+        target = basis.special_primes
+        coefficients = rng.integers(0, 200, RING_DEGREE)
+        poly = RnsPolynomial.from_integers(coefficients, source)
+        converted = convert_basis(poly, target)
+        expected = RnsPolynomial.from_integers(coefficients, target)
+        assert converted == expected
+
+    def test_error_is_multiple_of_source_modulus(self, basis, rng):
+        """For arbitrary values Conv(x) = x + e*Q with integer e (small)."""
+        source = basis.primes_at_level(1)
+        q_product = basis.modulus_at_level(1)
+        target = basis.special_primes
+        target_crt = CrtContext(target)
+        poly = _random_poly(rng, source)
+        converted = BasisConverter(source, target).convert(poly)
+        source_crt = CrtContext(source)
+        for i in range(RING_DEGREE):
+            original = source_crt.compose([int(poly.residues[l, i]) for l in range(2)])
+            lifted = target_crt.compose([int(converted.residues[l, i])
+                                         for l in range(len(target))])
+            difference = lifted - original
+            assert difference % q_product == 0
+            assert abs(difference // q_product) <= len(source)
+
+    def test_overlapping_bases_rejected(self, basis):
+        with pytest.raises(ValueError):
+            BasisConverter(basis.primes_at_level(1), basis.primes_at_level(2))
+
+    def test_requires_coefficient_domain(self, basis, rng):
+        poly = _random_poly(rng, basis.primes_at_level(0), PolyDomain.EVALUATION)
+        with pytest.raises(ValueError):
+            convert_basis(poly, basis.special_primes)
+
+
+class TestModUpModDown:
+    def test_modup_preserves_value_mod_group(self, basis, rng):
+        groups = basis.decomposition_groups(3, 2)
+        extended = basis.extended_primes_at_level(3)
+        group = groups[0]
+        group_product = 1
+        for q in group:
+            group_product *= q
+        coefficients = rng.integers(0, 100, RING_DEGREE)
+        poly = RnsPolynomial.from_integers(coefficients, group)
+        raised = ModUp(group, extended).apply(poly)
+        assert raised.moduli == extended
+        # Small non-negative values are represented exactly; in general the
+        # raised value may differ by a small multiple of the group modulus.
+        for got, want in zip(raised.to_integers(centered=False),
+                             [int(c) for c in coefficients]):
+            assert (got - want) % group_product == 0
+            assert abs(got - want) // group_product <= len(group)
+
+    def test_moddown_divides_by_special_product(self, basis):
+        extended = basis.extended_primes_at_level(2)
+        active = basis.primes_at_level(2)
+        special_product = basis.special_product
+        values = [special_product * v for v in range(-8, RING_DEGREE - 8)]
+        poly = RnsPolynomial.from_integers(values, extended)
+        lowered = ModDown(active, basis.special_primes).apply(poly)
+        assert lowered.to_integers() == list(range(-8, RING_DEGREE - 8))
+
+    def test_moddown_rounding_error_is_small(self, basis, rng):
+        extended = basis.extended_primes_at_level(1)
+        active = basis.primes_at_level(1)
+        special_product = basis.special_product
+        exact = rng.integers(-1000, 1000, RING_DEGREE)
+        noise = rng.integers(-special_product // 4, special_product // 4, RING_DEGREE)
+        values = [int(special_product) * int(v) + int(e) for v, e in zip(exact, noise)]
+        poly = RnsPolynomial.from_integers(values, extended)
+        lowered = ModDown(active, basis.special_primes).apply(poly)
+        recovered = lowered.to_integers()
+        for got, want in zip(recovered, exact):
+            assert abs(got - want) <= len(basis.special_primes) + 1
+
+    def test_moddown_requires_matching_basis(self, basis, rng):
+        poly = _random_poly(rng, basis.primes_at_level(1))
+        with pytest.raises(ValueError):
+            ModDown(basis.primes_at_level(1), basis.special_primes).apply(poly)

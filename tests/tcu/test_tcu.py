@@ -1,0 +1,174 @@
+"""Tests for the functional Tensor Core Unit simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ntt import TensorCoreNtt, create_engine
+from repro.numtheory import generate_ntt_prime
+from repro.tcu import (
+    StreamScheduler,
+    StreamTask,
+    TcuOverflowError,
+    TensorCoreGemm,
+    active_limb_count,
+    fuse_partial_products,
+    fuse_partial_products_exact,
+    limb_weight,
+    segment_matrix,
+)
+
+
+class TestSegmentation:
+    def test_reconstruct_roundtrip(self, rng):
+        matrix = rng.integers(0, 1 << 32, (6, 5), dtype=np.uint64)
+        segmented = segment_matrix(matrix)
+        assert np.array_equal(segmented.reconstruct(), matrix)
+
+    def test_limb_values_are_bytes(self, rng):
+        matrix = rng.integers(0, 1 << 32, (4, 4), dtype=np.uint64)
+        segmented = segment_matrix(matrix)
+        assert segmented.limbs.dtype == np.uint8
+
+    def test_nonzero_limbs_for_small_values(self):
+        segmented = segment_matrix(np.asarray([[5, 200], [17, 0]]))
+        assert segmented.nonzero_limbs() == [0]
+
+    def test_limb_weight(self):
+        assert [limb_weight(i) for i in range(4)] == [1, 256, 65536, 16777216]
+
+    @pytest.mark.parametrize("value,expected", [(0, 1), (255, 1), (256, 2),
+                                                (1 << 16, 3), ((1 << 32) - 1, 4)])
+    def test_active_limb_count(self, value, expected):
+        assert active_limb_count(value) == expected
+
+    def test_active_limb_count_rejects_negative(self):
+        with pytest.raises(ValueError):
+            active_limb_count(-1)
+
+
+class TestTensorCoreGemm:
+    def test_matches_int_matmul(self, rng):
+        lhs = rng.integers(0, 256, (8, 16), dtype=np.int64)
+        rhs = rng.integers(0, 256, (16, 4), dtype=np.int64)
+        gemm = TensorCoreGemm()
+        assert np.array_equal(gemm.multiply(lhs, rhs), lhs @ rhs)
+
+    def test_rejects_wide_operands(self):
+        gemm = TensorCoreGemm()
+        with pytest.raises(ValueError):
+            gemm.multiply(np.asarray([[300]]), np.asarray([[1]]))
+
+    def test_overflow_raises(self):
+        # 255*255*40000 > 2^31: the s32 accumulator must complain.
+        size = 40000
+        lhs = np.full((1, size), 255, dtype=np.uint8)
+        rhs = np.full((size, 1), 255, dtype=np.uint8)
+        with pytest.raises(TcuOverflowError):
+            TensorCoreGemm().multiply(lhs, rhs)
+
+    def test_overflow_wraps_when_requested(self):
+        size = 40000
+        lhs = np.full((1, size), 255, dtype=np.uint8)
+        rhs = np.full((size, 1), 255, dtype=np.uint8)
+        result = TensorCoreGemm(wrap_on_overflow=True).multiply(lhs, rhs)
+        expected = ((255 * 255 * size + (1 << 31)) % (1 << 32)) - (1 << 31)
+        assert int(result[0, 0]) == expected
+
+    def test_stats_accumulate(self, rng):
+        gemm = TensorCoreGemm()
+        lhs = rng.integers(0, 256, (16, 32), dtype=np.int64)
+        rhs = rng.integers(0, 256, (32, 8), dtype=np.int64)
+        gemm.multiply(lhs, rhs)
+        gemm.multiply(lhs, rhs)
+        assert gemm.stats.gemm_calls == 2
+        assert gemm.stats.mac_operations == 2 * 16 * 32 * 8
+        assert gemm.stats.elements_produced == 2 * 16 * 8
+        assert gemm.stats.tile_launches > 0
+        gemm.stats.reset()
+        assert gemm.stats.gemm_calls == 0
+
+    def test_shape_mismatch(self):
+        gemm = TensorCoreGemm()
+        with pytest.raises(ValueError):
+            gemm.multiply(np.zeros((2, 3), dtype=np.uint8), np.zeros((4, 2), dtype=np.uint8))
+
+
+class TestFusion:
+    def test_segmented_gemm_is_exact(self, rng):
+        """Limb-pair GEMMs + weighted fusion reproduce the exact wide product."""
+        q = generate_ntt_prime(28, 64)
+        lhs = rng.integers(0, q, (6, 10), dtype=np.int64)
+        rhs = rng.integers(0, q, (10, 7), dtype=np.int64)
+        lhs_seg = segment_matrix(lhs)
+        rhs_seg = segment_matrix(rhs)
+        gemm = TensorCoreGemm()
+        partials = {}
+        for i in lhs_seg.nonzero_limbs():
+            for j in rhs_seg.nonzero_limbs():
+                partials[(i, j)] = gemm.multiply(lhs_seg.limb(i), rhs_seg.limb(j))
+        exact = fuse_partial_products_exact(partials)
+        expected = lhs.astype(object) @ rhs.astype(object)
+        assert np.array_equal(exact, expected)
+        fused_mod = fuse_partial_products(partials, q)
+        assert np.array_equal(fused_mod, np.asarray(expected % q, dtype=np.int64))
+
+    def test_fusion_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fuse_partial_products({}, 97)
+        with pytest.raises(ValueError):
+            fuse_partial_products_exact({})
+
+    @given(st.integers(min_value=0, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_fusion_property(self, seed):
+        rng = np.random.default_rng(seed)
+        q = 7681
+        lhs = rng.integers(0, q, (3, 4), dtype=np.int64)
+        rhs = rng.integers(0, q, (4, 3), dtype=np.int64)
+        lhs_seg, rhs_seg = segment_matrix(lhs), segment_matrix(rhs)
+        gemm = TensorCoreGemm()
+        partials = {(i, j): gemm.multiply(lhs_seg.limb(i), rhs_seg.limb(j))
+                    for i in lhs_seg.nonzero_limbs() for j in rhs_seg.nonzero_limbs()}
+        assert np.array_equal(fuse_partial_products(partials, q), (lhs @ rhs) % q)
+
+
+class TestStreams:
+    def test_single_stream_is_serial(self):
+        tasks = [StreamTask("a", 3.0), StreamTask("b", 2.0)]
+        result = StreamScheduler(1).schedule(tasks)
+        assert result.makespan == pytest.approx(5.0)
+
+    def test_many_streams_is_max(self):
+        tasks = [StreamTask(str(i), 1.0) for i in range(4)]
+        result = StreamScheduler(8).schedule(tasks)
+        assert result.makespan == pytest.approx(1.0)
+
+    def test_parallel_efficiency_bounds(self):
+        tasks = [StreamTask(str(i), float(i + 1)) for i in range(16)]
+        result = StreamScheduler(4).schedule(tasks)
+        assert 0.0 < result.parallel_efficiency <= 1.0
+        assert result.makespan >= result.total_work / 4
+
+    def test_empty_schedule(self):
+        result = StreamScheduler(4).schedule([])
+        assert result.makespan == 0.0
+
+    def test_invalid_stream_count(self):
+        with pytest.raises(ValueError):
+            StreamScheduler(0)
+
+
+class TestTensorCoreNttIntegration:
+    def test_engine_records_stats_and_schedule(self, rng):
+        q = generate_ntt_prime(24, 64)
+        engine = create_engine("tensorcore", 64, q)
+        assert isinstance(engine, TensorCoreNtt)
+        poly = rng.integers(0, q, 64, dtype=np.int64)
+        engine.forward(poly)
+        assert engine.stats.gemm_calls > 0
+        assert engine.last_schedule is not None
+        assert engine.last_schedule.makespan > 0
+        engine.reset_stats()
+        assert engine.stats.gemm_calls == 0
