@@ -11,8 +11,14 @@ from this output.
 
 from __future__ import annotations
 
+import json
+import os
+
 from repro.gpu import A100, V100
 from repro.perf import ModelParameters, NttVariant, OperationModel
+
+#: Where ``write_results`` drops its JSON payloads (tracked perf trajectory).
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
 #: Table V "Default" configuration (N=2^16, L=44, batch 128).
 DEFAULT_PARAMETERS = ModelParameters(ring_degree=1 << 16, level_count=45,
@@ -34,3 +40,17 @@ def default_model(variant: str = NttVariant.GEMM_TCU, gpu=A100,
 def v100_model(variant: str = NttVariant.GEMM_TCU) -> OperationModel:
     """Same configuration on the V100 (the 100x / PrivFT platform)."""
     return default_model(variant=variant, gpu=V100)
+
+
+def write_results(name: str, payload) -> str:
+    """Serialise a benchmark payload to ``benchmarks/results/<name>.json``.
+
+    Benchmarks that track a wall-clock trajectory (rather than reproducing a
+    paper table) emit their measurements here so successive runs can be
+    diffed.  Returns the path written.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.json" % name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path

@@ -13,8 +13,11 @@ the later EvalMod/sine stage; ModRaise itself is a pure basis extension.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from ...numtheory.modular import moduli_column
 from ...rns.poly import PolyDomain, RnsPolynomial
 from ..ciphertext import Ciphertext
 from ..context import CkksContext
@@ -25,7 +28,7 @@ __all__ = ["ModRaise"]
 class ModRaise:
     """Raise level-0 ciphertexts back to a (near-)maximal level."""
 
-    def __init__(self, context: CkksContext, target_level: int = None) -> None:
+    def __init__(self, context: CkksContext, target_level: Optional[int] = None) -> None:
         self.context = context
         self.target_level = context.max_level if target_level is None else target_level
 
@@ -46,9 +49,10 @@ class ModRaise:
         base_prime = polynomial.moduli[0]
         residues = polynomial.residues[0]
         # Centre the residues in (-q0/2, q0/2] before re-reducing so the
-        # implicit integer polynomial I stays small.
+        # implicit integer polynomial I stays small.  The re-reduction over
+        # the full chain is one broadcast against the moduli column.
         centered = np.where(residues > base_prime // 2, residues - base_prime, residues)
         target_moduli = self.context.moduli_at_level(self.target_level)
-        rows = [centered % q for q in target_moduli]
+        raised = centered[None, :] % moduli_column(target_moduli)
         return RnsPolynomial(polynomial.ring_degree, target_moduli,
-                             np.stack(rows).astype(np.int64), PolyDomain.COEFFICIENT)
+                             raised, PolyDomain.COEFFICIENT)

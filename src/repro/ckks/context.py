@@ -8,11 +8,12 @@ bootstrapper) receives the context instead of re-deriving parameters.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..kernels.base import KernelContext
+from ..numtheory.modular import mod_inverse
 from ..ntt.planner import NttPlanner
 from ..rns.basis import RnsBasis, build_default_basis
 from .encoder import CkksEncoder
@@ -24,7 +25,7 @@ __all__ = ["CkksContext"]
 class CkksContext:
     """Everything derived from a :class:`CkksParameters` instance."""
 
-    def __init__(self, parameters: CkksParameters, *, seed: int = None) -> None:
+    def __init__(self, parameters: CkksParameters, *, seed: Optional[int] = None) -> None:
         self.parameters = parameters
         # The generalized key-switching technique requires P >= max_j Q_j
         # (Section II-B of the paper), i.e. at least as many special primes
@@ -41,10 +42,13 @@ class CkksContext:
         self.kernels = KernelContext(self.planner)
         self.encoder = CkksEncoder(parameters)
         self.rng = np.random.default_rng(seed)
+        # Per-level q_last^{-1} mod q_i columns used by RESCALE, built once
+        # per basis tuple so the evaluator never recomputes mod_inverse.
+        self._rescale_inverse_cache: Dict[Tuple[int, ...], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_preset(cls, name: str, *, seed: int = None) -> "CkksContext":
+    def from_preset(cls, name: str, *, seed: Optional[int] = None) -> "CkksContext":
         """Build a context from a named preset (see :mod:`repro.ckks.params`)."""
         return cls(get_preset(name), seed=seed)
 
@@ -80,6 +84,25 @@ class CkksContext:
     def decomposition_groups(self, level: int) -> Sequence[Tuple[int, ...]]:
         """dnum decomposition groups of the active chain at ``level``."""
         return self.basis.decomposition_groups(level, self.parameters.dnum)
+
+    def rescale_inverses(self, moduli: Sequence[int]) -> np.ndarray:
+        """Cached ``(limbs-1, 1)`` column of ``q_last^{-1} mod q_i``.
+
+        ``moduli`` is the basis *before* the rescale (its last prime is the
+        one being dropped).  The column feeds the evaluator's vectorised
+        RESCALE; building it is one-time precomputation per level.
+        """
+        key = tuple(int(q) for q in moduli)
+        if len(key) < 2:
+            raise ValueError("rescaling requires at least two limbs")
+        column = self._rescale_inverse_cache.get(key)
+        if column is None:
+            last = key[-1]
+            column = np.asarray(
+                [mod_inverse(last % q, q) for q in key[:-1]], dtype=np.int64
+            )[:, None]
+            self._rescale_inverse_cache[key] = column
+        return column
 
     # ------------------------------------------------------------------
     def describe(self) -> dict:

@@ -9,11 +9,11 @@ Table II of the paper.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional
 
 from ..kernels import ops as kernel_ops
 from ..kernels.automorphism import galois_element_for_rotation
-from ..numtheory.modular import mod_inverse
+from ..numtheory.modular import moduli_column
 from ..rns.poly import RnsPolynomial
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
@@ -173,29 +173,30 @@ class Evaluator:
         """RESCALE: drop the last prime and divide the scale by it."""
         if ciphertext.level == 0:
             raise ValueError("cannot rescale a level-0 ciphertext")
-        kernels = self.context.kernels
         last_prime = ciphertext.moduli[-1]
         new_level = ciphertext.level - 1
-        c0 = self._rescale_poly(ciphertext.c0, last_prime)
-        c1 = self._rescale_poly(ciphertext.c1, last_prime)
+        c0 = self._rescale_poly(ciphertext.c0)
+        c1 = self._rescale_poly(ciphertext.c1)
         # Ele-Sub bookkeeping happens inside _rescale_poly; record level drop.
         return Ciphertext(c0=c0, c1=c1, scale=ciphertext.scale / last_prime,
                           level=new_level)
 
-    def _rescale_poly(self, polynomial: RnsPolynomial, last_prime: int) -> RnsPolynomial:
-        """Per-limb exact rescaling: ``(c_i - c_last) * q_last^{-1} mod q_i``."""
-        import numpy as np
+    def _rescale_poly(self, polynomial: RnsPolynomial) -> RnsPolynomial:
+        """Exact rescaling ``(c_i - c_last) * q_last^{-1} mod q_i``, all limbs at once.
 
+        The per-level inverse column ``q_last^{-1} mod q_i`` is cached on
+        the context, so a rescale is two vectorised 2-D launches over the
+        surviving limbs.
+        """
         kernels = self.context.kernels
-        last_residues = polynomial.residues[-1]
-        rows = []
         moduli = polynomial.moduli[:-1]
-        for i, q in enumerate(moduli):
-            inverse = mod_inverse(last_prime % q, q)
-            diff = (polynomial.residues[i] - (last_residues % q)) % q
-            rows.append((diff * inverse) % q)
+        column = moduli_column(moduli)
+        inverse_column = self.context.rescale_inverses(polynomial.moduli)
+        last_residues = polynomial.residues[-1]
+        diff = (polynomial.residues[:-1] - (last_residues[None, :] % column)) % column
+        residues = (diff * inverse_column) % column
         kernels.counter.record(kernel_ops.KernelName.ELE_SUB, len(moduli))
-        return RnsPolynomial(polynomial.ring_degree, moduli, np.stack(rows),
+        return RnsPolynomial(polynomial.ring_degree, moduli, residues,
                              polynomial.domain)
 
     # ------------------------------------------------------------------
@@ -217,7 +218,6 @@ class Evaluator:
         if rotation_keys.conjugation_key is None:
             raise ValueError("rotation key set has no conjugation key")
         kernels = self.context.kernels
-        galois_element = 2 * self.context.ring_degree - 1
         rotated_c0 = kernel_ops.conjugate(kernels, ciphertext.c0)
         rotated_c1 = kernel_ops.conjugate(kernels, ciphertext.c1)
         return self._switch_rotated(ciphertext, rotated_c0, rotated_c1,
@@ -243,7 +243,7 @@ class Evaluator:
     # Convenience: encrypted linear algebra helpers used by the examples
     # ------------------------------------------------------------------
     def rotate_and_sum(self, ciphertext: Ciphertext, rotation_keys: RotationKeySet,
-                       count: int = None) -> Ciphertext:
+                       count: Optional[int] = None) -> Ciphertext:
         """Sum the first ``count`` slots into every slot via log-depth rotations.
 
         Requires rotation keys for the powers of two below ``count``.

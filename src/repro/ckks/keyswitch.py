@@ -11,6 +11,12 @@ automorphism) and returns a ciphertext pair ``(c0, c1)`` such that
   (NTT + Hada-Mult + Ele-Add kernels);
 * ``ModDown`` — divide by ``P`` and return to the ciphertext basis
   (INTT + Conv kernels).
+
+Every step executes limb-batched: the NTT/INTT kernels are one batched
+engine call per polynomial, the Hadamard/Ele-Add inner product is a single
+2-D launch over the extended basis, and ModUp/ModDown run their Conv as a
+row-moduli GEMM.  Only the loop over the ``dnum`` decomposition groups
+remains at the Python level, matching the paper's launch structure.
 """
 
 from __future__ import annotations

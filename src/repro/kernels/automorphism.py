@@ -46,8 +46,14 @@ def _coefficient_permutation(ring_degree: int, galois_element: int) -> Tuple[np.
 
 
 def apply_automorphism_coeff(coefficients: np.ndarray, galois_element: int,
-                             modulus: int) -> np.ndarray:
-    """Apply ``a(X) -> a(X^g)`` to a coefficient vector modulo ``modulus``."""
+                             modulus) -> np.ndarray:
+    """Apply ``a(X) -> a(X^g)`` to coefficient vectors modulo ``modulus``.
+
+    ``coefficients`` may carry leading batch axes (the RNS limb axis of a
+    whole polynomial); ``modulus`` is then an array broadcastable against
+    it — e.g. a ``(limbs, 1)`` column of per-limb primes — so the entire
+    residue matrix is permuted and reduced in one launch.
+    """
     coefficients = np.asarray(coefficients, dtype=np.int64)
     ring_degree = coefficients.shape[-1]
     targets, signs = _coefficient_permutation(ring_degree, galois_element % (2 * ring_degree))

@@ -5,14 +5,19 @@ planner + counters) and :class:`~repro.rns.poly.RnsPolynomial` operands,
 performs the operation on all limbs and records the invocation.  The CKKS
 evaluator composes these kernels exactly as Table II of the paper does, so
 the instrumentation reproduces the paper's operation→kernel mapping.
+
+Every kernel executes limb-batched: one vectorised launch covers the whole
+``(limbs, N)`` residue matrix (the NTT/INTT kernels resolve to a single
+batched engine call through the planner).  The counters still record
+``limb_count`` limb-vectors per invocation, so the instrumentation is
+independent of how the work is fused.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-import numpy as np
-
+from ..numtheory.modular import moduli_column
 from ..rns.conv import BasisConverter
 from ..rns.poly import PolyDomain, RnsPolynomial
 from .automorphism import apply_automorphism_coeff, apply_automorphism_eval
@@ -67,37 +72,33 @@ def element_subtract(context: KernelContext, lhs: RnsPolynomial,
     return lhs.subtract(rhs)
 
 
+def _apply_automorphism(polynomial: RnsPolynomial, galois_element: int) -> RnsPolynomial:
+    """Automorphism of a whole residue matrix as one vectorised launch."""
+    if polynomial.domain == PolyDomain.COEFFICIENT:
+        residues = apply_automorphism_coeff(polynomial.residues, galois_element,
+                                            moduli_column(polynomial.moduli))
+    else:
+        residues = apply_automorphism_eval(polynomial.residues, galois_element)
+    return RnsPolynomial(polynomial.ring_degree, polynomial.moduli,
+                         residues, polynomial.domain)
+
+
 def frobenius_map(context: KernelContext, polynomial: RnsPolynomial,
                   galois_element: int) -> RnsPolynomial:
     """Apply the Galois automorphism ``X -> X^g`` (FrobeniusMap kernel)."""
     context.counter.record(KernelName.FROBENIUS, polynomial.limb_count)
-    rows = []
-    for i, q in enumerate(polynomial.moduli):
-        if polynomial.domain == PolyDomain.COEFFICIENT:
-            rows.append(apply_automorphism_coeff(polynomial.residues[i], galois_element, q))
-        else:
-            rows.append(apply_automorphism_eval(polynomial.residues[i], galois_element))
-    return RnsPolynomial(polynomial.ring_degree, polynomial.moduli,
-                         np.stack(rows), polynomial.domain)
+    return _apply_automorphism(polynomial, galois_element)
 
 
 def conjugate(context: KernelContext, polynomial: RnsPolynomial) -> RnsPolynomial:
     """Apply complex conjugation ``X -> X^(2N-1)`` (Conjugate kernel)."""
     context.counter.record(KernelName.CONJUGATE, polynomial.limb_count)
-    galois_element = 2 * polynomial.ring_degree - 1
-    rows = []
-    for i, q in enumerate(polynomial.moduli):
-        if polynomial.domain == PolyDomain.COEFFICIENT:
-            rows.append(apply_automorphism_coeff(polynomial.residues[i], galois_element, q))
-        else:
-            rows.append(apply_automorphism_eval(polynomial.residues[i], galois_element))
-    return RnsPolynomial(polynomial.ring_degree, polynomial.moduli,
-                         np.stack(rows), polynomial.domain)
+    return _apply_automorphism(polynomial, 2 * polynomial.ring_degree - 1)
 
 
 def basis_convert(context: KernelContext, polynomial: RnsPolynomial,
                   target_moduli: Sequence[int],
-                  converter: BasisConverter = None) -> RnsPolynomial:
+                  converter: Optional[BasisConverter] = None) -> RnsPolynomial:
     """Fast basis conversion (Conv kernel).
 
     A prebuilt :class:`BasisConverter` may be supplied to reuse its

@@ -18,7 +18,13 @@ from .planner import (
 )
 from .reference import ReferenceNtt
 from .tensorcore import TensorCoreNtt
-from .twiddle import TwiddleCache, get_twiddle_cache, split_degree
+from .twiddle import (
+    TwiddleCache,
+    TwiddleStack,
+    get_twiddle_cache,
+    get_twiddle_stack,
+    split_degree,
+)
 
 __all__ = [
     "NttEngine",
@@ -28,7 +34,9 @@ __all__ = [
     "FourStepNtt",
     "TensorCoreNtt",
     "TwiddleCache",
+    "TwiddleStack",
     "get_twiddle_cache",
+    "get_twiddle_stack",
     "split_degree",
     "negacyclic_multiply",
     "pointwise_multiply",

@@ -5,9 +5,27 @@ kernel is computed (Table IV): *TensorFHE-NT* (radix-2 butterflies),
 *TensorFHE-CO* (GEMM formulation on CUDA cores) and *TensorFHE* (segmented
 GEMMs on tensor cores).  Every engine implements this interface so the
 kernel layer, the CKKS evaluator and the benchmarks can swap them freely.
+
+Batched execution model
+-----------------------
+Engines expose two batch axes, mirroring the paper's operation-level
+batching (Section IV-C):
+
+* ``forward_batch`` / ``inverse_batch`` — many polynomials sharing one
+  modulus (the *B* axis of the paper's ``(L, B, N)`` layout);
+* ``forward_limbs`` / ``inverse_limbs`` — the limbs of one RNS polynomial,
+  each row with its own prime (the *L* axis).
+
+``forward_limbs`` is the primary path of the CKKS stack: a whole
+``(limbs, N)`` residue matrix is transformed in one engine call.  The GEMM
+engines implement it natively by stacking the per-modulus twiddle operands
+into 3-D batched ``matmul`` launches; this base class provides a generic
+per-limb fallback for the butterfly and reference engines.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
 
 import abc
 
@@ -29,6 +47,9 @@ class NttEngine(abc.ABC):
     def __init__(self, ring_degree: int, modulus: int) -> None:
         self.ring_degree = ring_degree
         self.modulus = modulus
+        # Sibling engines (same class, same N, other primes) backing the
+        # generic per-limb fallback of forward_limbs/inverse_limbs.
+        self._limb_engines: Dict[int, "NttEngine"] = {}
 
     @abc.abstractmethod
     def forward(self, coefficients: np.ndarray) -> np.ndarray:
@@ -52,6 +73,45 @@ class NttEngine(abc.ABC):
             return self.inverse(rows)
         return np.stack([self.inverse(row) for row in rows])
 
+    # ------------------------------------------------------------------
+    # Limb-batched transforms: one call per RNS polynomial.
+    # ------------------------------------------------------------------
+    def forward_limbs(self, residues: np.ndarray,
+                      moduli: Sequence[int]) -> np.ndarray:
+        """Forward-transform row ``i`` of ``residues`` modulo ``moduli[i]``.
+
+        Generic fallback: dispatch each limb to a cached sibling engine of
+        the same class.  The GEMM engines override this with a single
+        batched launch over the stacked twiddle operands.
+        """
+        residues, moduli = self._validate_limbs(residues, moduli)
+        return np.stack([
+            self._engine_for_modulus(int(q)).forward(residues[i])
+            for i, q in enumerate(moduli)
+        ])
+
+    def inverse_limbs(self, values: np.ndarray,
+                      moduli: Sequence[int]) -> np.ndarray:
+        """Inverse-transform row ``i`` of ``values`` modulo ``moduli[i]``.
+
+        Generic per-limb fallback; see :meth:`forward_limbs`.
+        """
+        values, moduli = self._validate_limbs(values, moduli)
+        return np.stack([
+            self._engine_for_modulus(int(q)).inverse(values[i])
+            for i, q in enumerate(moduli)
+        ])
+
+    def _engine_for_modulus(self, modulus: int) -> "NttEngine":
+        """Return a same-class engine for ``(N, modulus)`` (cached)."""
+        if modulus == self.modulus:
+            return self
+        engine = self._limb_engines.get(modulus)
+        if engine is None:
+            engine = type(self)(self.ring_degree, modulus)
+            self._limb_engines[modulus] = engine
+        return engine
+
     def _validate(self, vector: np.ndarray) -> np.ndarray:
         array = np.asarray(vector, dtype=np.int64)
         if array.ndim != 1 or array.shape[0] != self.ring_degree:
@@ -62,6 +122,26 @@ class NttEngine(abc.ABC):
         if np.any(array < 0) or np.any(array >= self.modulus):
             array = array % self.modulus
         return array
+
+    def _validate_limbs(self, residues: np.ndarray,
+                        moduli: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Check/reduce a ``(limbs, N)`` residue matrix against its moduli."""
+        array = np.asarray(residues, dtype=np.int64)
+        moduli_array = np.asarray([int(q) for q in moduli], dtype=np.int64)
+        if array.ndim != 2 or array.shape[1] != self.ring_degree:
+            raise ValueError(
+                "expected a (limbs, %d) residue matrix, got shape %s"
+                % (self.ring_degree, array.shape)
+            )
+        if moduli_array.shape[0] != array.shape[0]:
+            raise ValueError(
+                "got %d moduli for %d limbs"
+                % (moduli_array.shape[0], array.shape[0])
+            )
+        column = moduli_array[:, None]
+        if np.any(array < 0) or np.any(array >= column):
+            array = array % column
+        return array, moduli_array
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "%s(N=%d, q=%d)" % (type(self).__name__, self.ring_degree, self.modulus)

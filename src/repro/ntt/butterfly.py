@@ -10,6 +10,8 @@ depends on the previous one.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..numtheory.bit_ops import ilog2
@@ -25,7 +27,7 @@ class ButterflyNtt(NttEngine):
     name = "butterfly"
 
     def __init__(self, ring_degree: int, modulus: int,
-                 twiddles: TwiddleCache = None) -> None:
+                 twiddles: Optional[TwiddleCache] = None) -> None:
         super().__init__(ring_degree, modulus)
         self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
         self._psi_brv = self.twiddles.psi_powers_bitrev()

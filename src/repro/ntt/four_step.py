@@ -14,11 +14,18 @@ as dense GEMMs — the form the tensor-core engine then lowers to INT8.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from .base import NttEngine
-from .gemm_utils import modular_hadamard, modular_matmul
-from .twiddle import TwiddleCache, get_twiddle_cache
+from .gemm_utils import (
+    modular_hadamard,
+    modular_hadamard_limbs,
+    modular_matmul,
+    modular_matmul_limbs,
+)
+from .twiddle import TwiddleCache, get_twiddle_cache, get_twiddle_stack
 
 __all__ = ["FourStepNtt"]
 
@@ -29,7 +36,7 @@ class FourStepNtt(NttEngine):
     name = "four_step"
 
     def __init__(self, ring_degree: int, modulus: int,
-                 twiddles: TwiddleCache = None) -> None:
+                 twiddles: Optional[TwiddleCache] = None) -> None:
         super().__init__(ring_degree, modulus)
         self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
         self.n1, self.n2 = self.twiddles.four_step_shapes()
@@ -56,6 +63,42 @@ class FourStepNtt(NttEngine):
         flattened = outer.flatten(order="F")
         return (flattened * self.twiddles.degree_inverse) % self.modulus
 
+    # -- limb-batched path: the whole RNS polynomial in three launches --
+    def forward_limbs(self, residues: np.ndarray,
+                      moduli: Sequence[int]) -> np.ndarray:
+        """Forward NTT of all limbs via batched three-GEMM decomposition.
+
+        The per-modulus ``W1/W2/W3`` operands are stacked along the limb
+        axis (cached per ``(N, moduli)``), so each of the three steps is a
+        single 3-D ``matmul``/Hadamard launch over every limb at once.
+        """
+        residues, moduli_array = self._validate_limbs(residues, moduli)
+        stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
+        w1, w2, w3 = stack.four_step_forward()
+        w1_cache, w3_cache = stack.four_step_forward_caches()
+        limbs = residues.shape[0]
+        a_mat = residues.reshape(limbs, self.n1, self.n2)
+        inner = self._gemm_limbs(w1, a_mat, moduli_array, lhs_cache=w1_cache)
+        twisted = self._hadamard_limbs(inner, w2, moduli_array)
+        outer = self._gemm_limbs(twisted, w3, moduli_array, rhs_cache=w3_cache)
+        # Column-major flattening of every (N1, N2) slice, as in forward().
+        return outer.transpose(0, 2, 1).reshape(limbs, self.ring_degree)
+
+    def inverse_limbs(self, values: np.ndarray,
+                      moduli: Sequence[int]) -> np.ndarray:
+        """Inverse NTT of all limbs via batched three-GEMM decomposition."""
+        values, moduli_array = self._validate_limbs(values, moduli)
+        stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
+        v1, v2, v3 = stack.four_step_inverse()
+        v1_cache, v3_cache = stack.four_step_inverse_caches()
+        limbs = values.shape[0]
+        a_mat = values.reshape(limbs, self.n1, self.n2)
+        inner = self._gemm_limbs(v1, a_mat, moduli_array, lhs_cache=v1_cache)
+        twisted = self._hadamard_limbs(inner, v2, moduli_array)
+        outer = self._gemm_limbs(twisted, v3, moduli_array, rhs_cache=v3_cache)
+        flattened = outer.transpose(0, 2, 1).reshape(limbs, self.ring_degree)
+        return (flattened * stack.degree_inverse_column) % moduli_array[:, None]
+
     # -- hooks the tensor-core engine overrides -------------------------
     def _gemm(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         """Modular GEMM on the "CUDA cores" (plain int64 matmul)."""
@@ -64,3 +107,15 @@ class FourStepNtt(NttEngine):
     def _hadamard(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         """Modular Hadamard product on the CUDA cores."""
         return modular_hadamard(lhs, rhs, self.modulus)
+
+    def _gemm_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
+                    moduli: np.ndarray, *, lhs_cache=None,
+                    rhs_cache=None) -> np.ndarray:
+        """Limb-batched modular GEMM (one 3-D matmul on the CUDA cores)."""
+        return modular_matmul_limbs(lhs, rhs, moduli,
+                                    lhs_cache=lhs_cache, rhs_cache=rhs_cache)
+
+    def _hadamard_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
+                        moduli: np.ndarray) -> np.ndarray:
+        """Limb-batched modular Hadamard product."""
+        return modular_hadamard_limbs(lhs, rhs, moduli)

@@ -11,11 +11,26 @@ implementation exact for arbitrary 30-bit moduli.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-__all__ = ["modular_matmul", "modular_hadamard", "max_safe_chunk"]
+from ..numtheory.modular import mat_mod_mul
+
+__all__ = [
+    "modular_matmul",
+    "modular_hadamard",
+    "max_safe_chunk",
+    "FloatOperandCache",
+    "modular_matmul_limbs",
+    "modular_hadamard_limbs",
+    "modular_matmul_rows",
+]
 
 _SAFE_ACCUMULATOR_BITS = 62
+#: Largest integer magnitude float64 represents exactly (2**53); products and
+#: partial sums below this bound make a BLAS dgemm bit-exact.
+_FLOAT_EXACT_LIMIT = 1 << 53
 
 
 def max_safe_chunk(modulus: int) -> int:
@@ -55,3 +70,185 @@ def modular_hadamard(lhs: np.ndarray, rhs: np.ndarray, modulus: int) -> np.ndarr
         product = lhs.astype(object) * rhs.astype(object)
         return np.asarray(product % modulus, dtype=np.int64)
     return (lhs * rhs) % modulus
+
+
+# ----------------------------------------------------------------------
+# Limb-batched variants: one launch for a whole RNS polynomial.
+#
+# The batched NTT paths stack the per-modulus GEMM operands along a leading
+# limb axis and issue a single ``np.matmul`` over the 3-D stacks, reducing
+# row ``i`` modulo ``moduli[i]``.  The chunking argument is the same as for
+# :func:`modular_matmul`, using the largest modulus of the stack.
+# ----------------------------------------------------------------------
+
+def _limb_broadcast(moduli, ndim: int) -> np.ndarray:
+    """Reshape a ``(limbs,)`` moduli vector to broadcast over ``ndim`` axes."""
+    moduli = np.asarray(moduli, dtype=np.int64)
+    return moduli.reshape((moduli.shape[0],) + (1,) * (ndim - 1))
+
+
+class FloatOperandCache:
+    """Lazily cached float64 forms of a reusable int64 GEMM operand.
+
+    The limb-batched GEMMs run on BLAS float64 whenever the 2**53 mantissa
+    bound keeps them exact — the software analogue of the paper lowering
+    GEMMs to low-precision tensor-core arithmetic.  Twiddle stacks are
+    reused across every NTT of an instance, so their float64 image (and,
+    for larger moduli, a high/low split that restores exactness) is built
+    once and cached here.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self.matrix = np.asarray(matrix, dtype=np.int64)
+        self.max_value = int(self.matrix.max(initial=0))
+        self._full = None
+        self._split = None
+
+    def full(self) -> np.ndarray:
+        """The operand converted to float64 (exact: entries < 2**31 < 2**53)."""
+        if self._full is None:
+            self._full = self.matrix.astype(np.float64)
+        return self._full
+
+    def split(self):
+        """``(shift, hi, lo)`` with ``matrix == hi * 2**shift + lo``.
+
+        Splitting roughly halves the bit-width of each part, so each of
+        the two partial GEMMs fits the float64 exactness bound for moduli
+        too large for a single pass.
+        """
+        if self._split is None:
+            shift = max(1, (self.max_value.bit_length() + 1) // 2)
+            hi = (self.matrix >> shift).astype(np.float64)
+            lo = (self.matrix & ((1 << shift) - 1)).astype(np.float64)
+            self._split = (shift, hi, lo)
+        return self._split
+
+
+def _float_matmul_limbs(lhs, rhs, column, inner, lhs_cache, rhs_cache):
+    """Exact float64 fast path for the batched GEMM, or None if unsafe.
+
+    One operand side carries a :class:`FloatOperandCache` (the reusable
+    twiddle stack); the other is converted per call.  Falls back to None
+    when even the split operand would break the 2**53 exactness bound.
+    """
+    cache = lhs_cache if lhs_cache is not None else rhs_cache
+    other = rhs if lhs_cache is not None else lhs
+    other_bound = int(column.max()) - 1
+
+    def combine(product):
+        return np.rint(product).astype(np.int64) % column
+
+    if inner * cache.max_value * other_bound < _FLOAT_EXACT_LIMIT:
+        other_f = other.astype(np.float64)
+        if lhs_cache is not None:
+            return combine(np.matmul(cache.full(), other_f))
+        return combine(np.matmul(other_f, cache.full()))
+
+    shift, hi, lo = cache.split()
+    hi_max = max(1, cache.max_value >> shift)
+    lo_max = (1 << shift) - 1
+    if inner * max(hi_max, lo_max) * other_bound >= _FLOAT_EXACT_LIMIT:
+        return None
+    other_f = other.astype(np.float64)
+    if lhs_cache is not None:
+        high = combine(np.matmul(hi, other_f))
+        low = combine(np.matmul(lo, other_f))
+    else:
+        high = combine(np.matmul(other_f, hi))
+        low = combine(np.matmul(other_f, lo))
+    weight = (1 << shift) % column
+    return (low + (high * weight) % column) % column
+
+
+def modular_matmul_limbs(lhs: np.ndarray, rhs: np.ndarray, moduli, *,
+                         lhs_cache: Optional[FloatOperandCache] = None,
+                         rhs_cache: Optional[FloatOperandCache] = None) -> np.ndarray:
+    """Batched modular GEMM: ``out[i] = (lhs[i] @ rhs[i]) mod moduli[i]``.
+
+    ``lhs`` has shape ``(limbs, M, K)`` and ``rhs`` ``(limbs, K, P)``; both
+    must already be reduced modulo their row's prime.  The whole stack is
+    one ``np.matmul`` launch.  When one side passes its cached float64
+    image (``lhs_cache``/``rhs_cache``) and the 2**53 bound holds, the
+    launch runs on BLAS float64 bit-exactly; otherwise it runs on int64,
+    chunked along ``K`` whenever the accumulator could overflow.
+    """
+    lhs = np.asarray(lhs, dtype=np.int64)
+    rhs = np.asarray(rhs, dtype=np.int64)
+    if lhs.ndim != 3 or rhs.ndim != 3:
+        raise ValueError(
+            "expected 3-D limb stacks, got %s @ %s" % (lhs.shape, rhs.shape)
+        )
+    if lhs.shape[0] != rhs.shape[0] or lhs.shape[2] != rhs.shape[1]:
+        raise ValueError(
+            "limb stacks do not align: %s @ %s" % (lhs.shape, rhs.shape)
+        )
+    column = _limb_broadcast(moduli, 3)
+    inner = lhs.shape[2]
+    if int(column.max()) >= (1 << 31):
+        # A single product of two reduced residues can overflow int64;
+        # take the exact (slow) object-dtype path, as mat_mod_mul does.
+        product = np.matmul(lhs.astype(object), rhs.astype(object))
+        return np.asarray(product % column, dtype=np.int64)
+    if lhs_cache is not None or rhs_cache is not None:
+        result = _float_matmul_limbs(lhs, rhs, column, inner,
+                                     lhs_cache, rhs_cache)
+        if result is not None:
+            return result
+    chunk = max_safe_chunk(int(column.max()))
+    if chunk >= inner:
+        return np.matmul(lhs, rhs) % column
+    result = np.zeros((lhs.shape[0], lhs.shape[1], rhs.shape[2]), dtype=np.int64)
+    for start in range(0, inner, chunk):
+        stop = min(start + chunk, inner)
+        partial = np.matmul(lhs[:, :, start:stop], rhs[:, start:stop, :]) % column
+        result = (result + partial) % column
+    return result
+
+
+def modular_hadamard_limbs(lhs: np.ndarray, rhs: np.ndarray, moduli) -> np.ndarray:
+    """Element-wise ``(lhs * rhs) mod moduli`` with per-limb moduli.
+
+    The leading axis of both operands is the limb axis; ``moduli[i]``
+    reduces slice ``i``.  Thin shim over
+    :func:`repro.numtheory.modular.mat_mod_mul` that flattens any trailing
+    axes so a single implementation owns the reduction logic.
+    """
+    lhs = np.asarray(lhs, dtype=np.int64)
+    rhs = np.asarray(rhs, dtype=np.int64)
+    limbs = lhs.shape[0]
+    flat = mat_mod_mul(lhs.reshape(limbs, -1), rhs.reshape(limbs, -1),
+                       np.asarray(moduli, dtype=np.int64))
+    return flat.reshape(lhs.shape)
+
+
+def modular_matmul_rows(lhs: np.ndarray, rhs: np.ndarray, row_moduli) -> np.ndarray:
+    """Row-moduli GEMM: ``out[j] = (lhs[j] @ rhs) mod row_moduli[j]``.
+
+    Used by the fast basis conversion, where every *output* row has its own
+    prime.  Operand entries may live in different residue domains, so the
+    chunk bound is derived from the actual operand maxima instead of the
+    moduli.
+    """
+    lhs = np.asarray(lhs, dtype=np.int64)
+    rhs = np.asarray(rhs, dtype=np.int64)
+    if lhs.shape[-1] != rhs.shape[0]:
+        raise ValueError(
+            "inner dimensions do not match: %s @ %s" % (lhs.shape, rhs.shape)
+        )
+    column = np.asarray(row_moduli, dtype=np.int64)[:, None]
+    inner = lhs.shape[-1]
+    per_term = int(lhs.max(initial=0)) * int(rhs.max(initial=0))
+    if per_term >= (1 << 63):
+        # Even a chunk of one row would overflow int64: exact object path.
+        product = lhs.astype(object) @ rhs.astype(object)
+        return np.asarray(product % column, dtype=np.int64)
+    chunk = inner if per_term == 0 else max(1, (1 << _SAFE_ACCUMULATOR_BITS) // per_term)
+    if chunk >= inner:
+        return (lhs @ rhs) % column
+    result = np.zeros((lhs.shape[0], rhs.shape[1]), dtype=np.int64)
+    for start in range(0, inner, chunk):
+        stop = min(start + chunk, inner)
+        partial = (lhs[:, start:stop] @ rhs[start:stop]) % column
+        result = (result + partial) % column
+    return result

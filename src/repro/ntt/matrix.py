@@ -9,11 +9,13 @@ paper pays for removing the RAW dependencies between butterfly stages.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from .base import NttEngine
-from .gemm_utils import modular_matmul
-from .twiddle import TwiddleCache, get_twiddle_cache
+from .gemm_utils import modular_matmul, modular_matmul_limbs
+from .twiddle import TwiddleCache, get_twiddle_cache, get_twiddle_stack
 
 __all__ = ["MatrixNtt"]
 
@@ -24,7 +26,7 @@ class MatrixNtt(NttEngine):
     name = "matrix"
 
     def __init__(self, ring_degree: int, modulus: int,
-                 twiddles: TwiddleCache = None) -> None:
+                 twiddles: Optional[TwiddleCache] = None) -> None:
         super().__init__(ring_degree, modulus)
         self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
 
@@ -59,3 +61,25 @@ class MatrixNtt(NttEngine):
         weight = self.twiddles.inverse_matrix()
         raw = modular_matmul(weight, rows.T % self.modulus, self.modulus).T
         return (raw * self.twiddles.degree_inverse) % self.modulus
+
+    # -- limb-batched path (one 3-D GEMM per whole RNS polynomial) ------
+    def forward_limbs(self, residues: np.ndarray,
+                      moduli: Sequence[int]) -> np.ndarray:
+        """Forward NTT of all limbs as one batched matmul over stacked ``W``."""
+        residues, moduli_array = self._validate_limbs(residues, moduli)
+        stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
+        weights = stack.forward_matrices()
+        return modular_matmul_limbs(
+            weights, residues[:, :, None], moduli_array,
+            lhs_cache=stack.forward_matrices_cache())[:, :, 0]
+
+    def inverse_limbs(self, values: np.ndarray,
+                      moduli: Sequence[int]) -> np.ndarray:
+        """Inverse NTT of all limbs as one batched matmul over stacked ``V``."""
+        values, moduli_array = self._validate_limbs(values, moduli)
+        stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
+        weights = stack.inverse_matrices()
+        raw = modular_matmul_limbs(
+            weights, values[:, :, None], moduli_array,
+            lhs_cache=stack.inverse_matrices_cache())[:, :, 0]
+        return (raw * stack.degree_inverse_column) % moduli_array[:, None]

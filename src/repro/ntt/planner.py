@@ -5,11 +5,19 @@ NTT kernel to launch: it instantiates the requested engine (butterfly /
 matrix / four-step / tensor-core / reference), caches engines per
 ``(engine, N, q)`` so their twiddle tables are reused, and exposes a
 ``default_engine`` that the CKKS stack uses.
+
+The planner also fronts the limb-batched execution model: the CKKS stack
+transforms whole RNS polynomials through :meth:`NttPlanner.forward_limbs` /
+:meth:`NttPlanner.inverse_limbs`, which resolve to **one** engine call per
+polynomial (the engine fuses the limb axis into a batched launch) instead
+of ``limb_count`` per-limb calls.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Type
+from typing import Dict, Optional, Sequence, Tuple, Type
+
+import numpy as np
 
 from .base import NttEngine
 from .butterfly import ButterflyNtt
@@ -59,7 +67,8 @@ class NttPlanner:
         self.engine_name = engine_name
         self._engines: Dict[Tuple[str, int, int], NttEngine] = {}
 
-    def engine_for(self, ring_degree: int, modulus: int, *, name: str = None) -> NttEngine:
+    def engine_for(self, ring_degree: int, modulus: int, *,
+                   name: Optional[str] = None) -> NttEngine:
         """Return (and cache) an engine for ``(N, q)``."""
         engine_name = name or self.engine_name
         key = (engine_name, ring_degree, modulus)
@@ -68,6 +77,28 @@ class NttPlanner:
             engine = create_engine(engine_name, ring_degree, modulus)
             self._engines[key] = engine
         return engine
+
+    # ------------------------------------------------------------------
+    # Limb-batched transforms: one engine call per RNS polynomial.
+    # ------------------------------------------------------------------
+    def forward_limbs(self, ring_degree: int, moduli: Sequence[int],
+                      residues: np.ndarray, *,
+                      name: Optional[str] = None) -> np.ndarray:
+        """Forward-NTT a whole ``(limbs, N)`` residue matrix in one call.
+
+        The engine cached for ``(N, moduli[0])`` executes the batch; GEMM
+        engines fuse the limb axis into 3-D batched matmuls, the butterfly
+        and reference engines fall back to per-limb sibling dispatch.
+        """
+        engine = self.engine_for(ring_degree, int(moduli[0]), name=name)
+        return engine.forward_limbs(residues, moduli)
+
+    def inverse_limbs(self, ring_degree: int, moduli: Sequence[int],
+                      values: np.ndarray, *,
+                      name: Optional[str] = None) -> np.ndarray:
+        """Inverse-NTT a whole ``(limbs, N)`` value matrix in one call."""
+        engine = self.engine_for(ring_degree, int(moduli[0]), name=name)
+        return engine.inverse_limbs(values, moduli)
 
     def clear(self) -> None:
         """Drop all cached engines (and their twiddle tables)."""

@@ -6,7 +6,7 @@ engine is tested against this one.  It is deliberately simple and slow.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -55,7 +55,7 @@ class ReferenceNtt(NttEngine):
     name = "reference"
 
     def __init__(self, ring_degree: int, modulus: int,
-                 twiddles: TwiddleCache = None) -> None:
+                 twiddles: Optional[TwiddleCache] = None) -> None:
         super().__init__(ring_degree, modulus)
         self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
 

@@ -20,8 +20,15 @@ import numpy as np
 from ..numtheory.bit_ops import bit_reverse_permutation, ilog2, is_power_of_two
 from ..numtheory.modular import mod_inverse, mod_pow
 from ..numtheory.roots import find_negacyclic_root, root_powers
+from .gemm_utils import FloatOperandCache
 
-__all__ = ["TwiddleCache", "split_degree", "get_twiddle_cache"]
+__all__ = [
+    "TwiddleCache",
+    "TwiddleStack",
+    "split_degree",
+    "get_twiddle_cache",
+    "get_twiddle_stack",
+]
 
 
 def split_degree(ring_degree: int) -> Tuple[int, int]:
@@ -194,3 +201,98 @@ def get_twiddle_cache(ring_degree: int, modulus: int) -> TwiddleCache:
     instance shares the same twiddle matrices, so they are built once.
     """
     return TwiddleCache(ring_degree, modulus)
+
+
+class TwiddleStack:
+    """Per-modulus twiddle operands stacked along a leading limb axis.
+
+    The limb-batched NTT paths transform a whole ``(limbs, N)`` residue
+    matrix in one launch, which requires the per-modulus GEMM operands as
+    3-D stacks (``W[i]`` is the table for ``moduli[i]``).  Building a stack
+    is one-time precomputation (like the twiddle tables themselves) and is
+    cached per ``(N, moduli)`` via :func:`get_twiddle_stack`; the hot
+    transform path only indexes the prebuilt arrays.
+    """
+
+    def __init__(self, ring_degree: int, moduli: Tuple[int, ...]) -> None:
+        self.ring_degree = ring_degree
+        self.moduli = tuple(int(q) for q in moduli)
+        if not self.moduli:
+            raise ValueError("a twiddle stack needs at least one modulus")
+        self.caches = tuple(get_twiddle_cache(ring_degree, q) for q in self.moduli)
+        self.moduli_array = np.asarray(self.moduli, dtype=np.int64)
+        self.degree_inverse_column = np.asarray(
+            [cache.degree_inverse for cache in self.caches], dtype=np.int64
+        )[:, None]
+        self._stacks: Dict[str, np.ndarray] = {}
+        self._float_caches: Dict[str, FloatOperandCache] = {}
+
+    @property
+    def limb_count(self) -> int:
+        return len(self.moduli)
+
+    # -- Eq. 8 (single-GEMM) stacks ------------------------------------
+    def forward_matrices(self) -> np.ndarray:
+        """``(limbs, N, N)`` stack of the full forward twiddle matrices."""
+        return self._stacked("W_forward", lambda cache: cache.forward_matrix())
+
+    def inverse_matrices(self) -> np.ndarray:
+        """``(limbs, N, N)`` stack of the full inverse twiddle matrices."""
+        return self._stacked("W_inverse", lambda cache: cache.inverse_matrix())
+
+    # -- Eq. 9 (four-step) stacks --------------------------------------
+    def four_step_forward(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(W1, W2, W3)`` stacks, each ``(limbs, ...)``, for the forward pass."""
+        return (
+            self._stacked("fs_w1", lambda cache: cache.four_step_forward()[0]),
+            self._stacked("fs_w2", lambda cache: cache.four_step_forward()[1]),
+            self._stacked("fs_w3", lambda cache: cache.four_step_forward()[2]),
+        )
+
+    def four_step_inverse(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(V1, V2, V3)`` stacks for the inverse four-step pass."""
+        return (
+            self._stacked("fs_v1", lambda cache: cache.four_step_inverse()[0]),
+            self._stacked("fs_v2", lambda cache: cache.four_step_inverse()[1]),
+            self._stacked("fs_v3", lambda cache: cache.four_step_inverse()[2]),
+        )
+
+    # -- float64 images for the BLAS fast path -------------------------
+    def forward_matrices_cache(self) -> FloatOperandCache:
+        return self._float("W_forward", self.forward_matrices)
+
+    def inverse_matrices_cache(self) -> FloatOperandCache:
+        return self._float("W_inverse", self.inverse_matrices)
+
+    def four_step_forward_caches(self) -> Tuple[FloatOperandCache, FloatOperandCache]:
+        """Float caches for ``(W1, W3)`` (``W2`` is a Hadamard operand)."""
+        self.four_step_forward()
+        return self._float("fs_w1"), self._float("fs_w3")
+
+    def four_step_inverse_caches(self) -> Tuple[FloatOperandCache, FloatOperandCache]:
+        """Float caches for ``(V1, V3)``."""
+        self.four_step_inverse()
+        return self._float("fs_v1"), self._float("fs_v3")
+
+    # ------------------------------------------------------------------
+    def _stacked(self, key: str, extract) -> np.ndarray:
+        if key not in self._stacks:
+            self._stacks[key] = np.stack([extract(cache) for cache in self.caches])
+        return self._stacks[key]
+
+    def _float(self, key: str, build=None) -> FloatOperandCache:
+        if key not in self._float_caches:
+            if build is not None:
+                build()
+            self._float_caches[key] = FloatOperandCache(self._stacks[key])
+        return self._float_caches[key]
+
+
+@lru_cache(maxsize=128)
+def get_twiddle_stack(ring_degree: int, moduli: Tuple[int, ...]) -> TwiddleStack:
+    """Process-wide shared :class:`TwiddleStack` for ``(N, moduli)``.
+
+    CKKS levels form prefix chains of one prime sequence, so the number of
+    distinct stacks per instance is the number of levels actually visited.
+    """
+    return TwiddleStack(ring_degree, tuple(int(q) for q in moduli))

@@ -33,6 +33,13 @@ __all__ = [
     "vec_mod_sub",
     "vec_mod_mul",
     "vec_mod_neg",
+    "moduli_column",
+    "mat_mod_reduce",
+    "mat_mod_add",
+    "mat_mod_sub",
+    "mat_mod_neg",
+    "mat_mod_mul",
+    "mat_mod_scalar_mul",
 ]
 
 
@@ -219,3 +226,88 @@ def vec_mod_mul(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
         product = a.astype(object) * b.astype(object)
         return np.asarray(product % q, dtype=np.int64)
     return (a * b) % q
+
+
+# ----------------------------------------------------------------------
+# Matrix-modular helpers: whole-polynomial (limbs, N) arithmetic.
+#
+# The RNS layer stores a polynomial as a ``(limbs, N)`` residue matrix with
+# one prime per row.  Broadcasting the moduli as a ``(limbs, 1)`` column
+# turns every element-wise kernel (Ele-Add, Ele-Sub, Hada-Mult, ...) into a
+# single 2-D numpy operation — the operation-level batching the paper's
+# Figure 9/14 argue for, with the limb dimension fused into the launch.
+# ----------------------------------------------------------------------
+
+def moduli_column(moduli) -> np.ndarray:
+    """Return ``moduli`` as an int64 ``(limbs, 1)`` broadcast column."""
+    column = np.asarray(moduli, dtype=np.int64)
+    if column.ndim == 1:
+        column = column[:, None]
+    return column
+
+
+def mat_mod_reduce(matrix: np.ndarray, moduli) -> np.ndarray:
+    """Row-wise ``matrix[i] mod moduli[i]`` on a ``(limbs, N)`` matrix."""
+    matrix = _as_int64(matrix)
+    return matrix % moduli_column(moduli)
+
+
+def mat_mod_add(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
+    """Row-wise ``(a + b) mod moduli`` without overflow (reduced inputs)."""
+    a = _as_int64(a)
+    b = _as_int64(b)
+    column = moduli_column(moduli)
+    out = a + b
+    np.subtract(out, column, out=out, where=out >= column)
+    return out
+
+
+def mat_mod_sub(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
+    """Row-wise ``(a - b) mod moduli`` without overflow (reduced inputs)."""
+    a = _as_int64(a)
+    b = _as_int64(b)
+    column = moduli_column(moduli)
+    out = a - b
+    np.add(out, column, out=out, where=out < 0)
+    return out
+
+
+def mat_mod_neg(a: np.ndarray, moduli) -> np.ndarray:
+    """Row-wise ``(-a) mod moduli``."""
+    a = _as_int64(a)
+    column = moduli_column(moduli)
+    return ((column - a) % column).astype(np.int64)
+
+
+def mat_mod_mul(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
+    """Row-wise ``(a * b) mod moduli``.
+
+    Requires every modulus below 2**31 so products fit in int64 (all moduli
+    from :mod:`repro.numtheory.primes` qualify); larger moduli fall back to
+    exact object arithmetic.
+    """
+    a = _as_int64(a)
+    b = _as_int64(b)
+    column = moduli_column(moduli)
+    if int(column.max()) >= (1 << 31):
+        product = a.astype(object) * b.astype(object)
+        return np.asarray(product % column, dtype=np.int64)
+    return (a * b) % column
+
+
+def mat_mod_scalar_mul(a: np.ndarray, scalars, moduli) -> np.ndarray:
+    """Multiply row ``i`` by integer ``scalars[i]`` modulo ``moduli[i]``.
+
+    Accepts a single scalar (applied to every row, reduced per-modulus) or
+    one scalar per limb; scalars may be arbitrary Python integers — they
+    are reduced into the int64-safe range before the broadcast multiply.
+    """
+    a = _as_int64(a)
+    column = moduli_column(moduli)
+    scalar_array = np.asarray(scalars, dtype=object)
+    if scalar_array.ndim == 0:
+        scalar_array = scalar_array.reshape(1, 1)
+    elif scalar_array.ndim == 1:
+        scalar_array = scalar_array[:, None]
+    scalar_column = np.asarray(scalar_array % column, dtype=np.int64)
+    return mat_mod_mul(a, scalar_column, moduli)

@@ -18,7 +18,8 @@ from typing import Sequence
 
 import numpy as np
 
-from ..numtheory.modular import mod_inverse
+from ..numtheory.modular import mod_inverse, moduli_column
+from ..ntt.gemm_utils import modular_matmul_rows
 from .poly import PolyDomain, RnsPolynomial
 
 __all__ = ["BasisConverter", "convert_basis"]
@@ -46,25 +47,27 @@ class BasisConverter:
         self.q_hat_mod_target = np.asarray(
             [[h % p for h in self.q_hat] for p in self.target_moduli], dtype=np.int64
         )
+        # Vectorised-operand forms of the precomputed constants.
+        self._source_column = moduli_column(self.source_moduli)
+        self._target_column = moduli_column(self.target_moduli)
+        self._q_hat_inv_column = np.asarray(self.q_hat_inv, dtype=np.int64)[:, None]
 
     def convert_residues(self, residues: np.ndarray) -> np.ndarray:
-        """Convert a ``(len(source), N)`` residue matrix to the target basis."""
+        """Convert a ``(len(source), N)`` residue matrix to the target basis.
+
+        The conversion is two fused launches: a row-wise scaled reduction
+        ``y_i = [x_i * q_hat_inv_i]_{q_i}`` and a row-moduli GEMM
+        ``out_j = (q_hat_mod_target[j] @ y) mod p_j`` — the shape the Conv
+        kernel takes on the GPU.
+        """
         residues = np.asarray(residues, dtype=np.int64)
         if residues.shape[0] != len(self.source_moduli):
             raise ValueError("residue matrix does not match the source basis")
-        ring_degree = residues.shape[1]
-        # y_i = [x_i * q_hat_inv_i]_{q_i}
-        y = np.empty_like(residues)
-        for i, q in enumerate(self.source_moduli):
-            y[i] = (residues[i] * self.q_hat_inv[i]) % q
-        out = np.zeros((len(self.target_moduli), ring_degree), dtype=np.int64)
-        for j, p in enumerate(self.target_moduli):
-            accumulator = np.zeros(ring_degree, dtype=np.int64)
-            for i in range(len(self.source_moduli)):
-                term = (y[i] * int(self.q_hat_mod_target[j, i])) % p
-                accumulator = (accumulator + term) % p
-            out[j] = accumulator
-        return out
+        # y_i = [x_i * q_hat_inv_i]_{q_i}; operands stay below 2**31, so the
+        # int64 product cannot overflow.
+        y = (residues * self._q_hat_inv_column) % self._source_column
+        return modular_matmul_rows(self.q_hat_mod_target, y,
+                                   self._target_column[:, 0])
 
     def convert(self, polynomial: RnsPolynomial) -> RnsPolynomial:
         """Convert an :class:`RnsPolynomial` to the target basis.

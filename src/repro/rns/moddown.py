@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..numtheory.modular import mod_inverse
+import numpy as np
+
+from ..numtheory.modular import mod_inverse, moduli_column
 from .conv import BasisConverter
 from .poly import PolyDomain, RnsPolynomial
 
@@ -38,21 +40,27 @@ class ModDown:
         self._p_inverse = {
             q: mod_inverse(special_product % q, q) for q in self.ciphertext_moduli
         }
+        self._ciphertext_column = moduli_column(self.ciphertext_moduli)
+        self._p_inverse_column = np.asarray(
+            [self._p_inverse[q] for q in self.ciphertext_moduli], dtype=np.int64
+        )[:, None]
 
     def apply(self, polynomial: RnsPolynomial) -> RnsPolynomial:
-        """Return ``round(polynomial / P)`` in the ciphertext basis."""
+        """Return ``round(polynomial / P)`` in the ciphertext basis.
+
+        The subtraction and the multiply by ``P^{-1}`` are single 2-D
+        launches over all ciphertext limbs.
+        """
         if polynomial.domain != PolyDomain.COEFFICIENT:
             raise ValueError("ModDown requires the coefficient domain")
         expected = self.ciphertext_moduli + self.special_moduli
         if tuple(polynomial.moduli) != expected:
             raise ValueError("polynomial basis does not match this ModDown instance")
-        special_part = polynomial.restrict_to(self.special_moduli)
-        folded = self._converter.convert_residues(special_part.residues)
-        rows = []
-        for i, q in enumerate(self.ciphertext_moduli):
-            diff = (polynomial.residues[i] - folded[i]) % q
-            rows.append((diff * self._p_inverse[q]) % q)
-        import numpy as np
-
+        ciphertext_count = len(self.ciphertext_moduli)
+        folded = self._converter.convert_residues(
+            polynomial.residues[ciphertext_count:])
+        column = self._ciphertext_column
+        diff = (polynomial.residues[:ciphertext_count] - folded) % column
+        residues = (diff * self._p_inverse_column) % column
         return RnsPolynomial(polynomial.ring_degree, self.ciphertext_moduli,
-                             np.stack(rows), PolyDomain.COEFFICIENT)
+                             residues, PolyDomain.COEFFICIENT)

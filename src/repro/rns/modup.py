@@ -30,25 +30,36 @@ class ModUp:
         self._converter = (
             BasisConverter(self.group_moduli, self._missing) if missing else None
         )
+        # Precomputed gather maps: target row j comes either from group row
+        # _from_group[j] (copy) or from converted row _from_missing[j].
+        group_index = {q: i for i, q in enumerate(self.group_moduli)}
+        missing_index = {q: i for i, q in enumerate(self._missing)}
+        self._copy_mask = np.asarray(
+            [q in group_index for q in self.target_moduli], dtype=bool
+        )
+        self._from_group = np.asarray(
+            [group_index.get(q, 0) for q in self.target_moduli], dtype=np.int64
+        )
+        self._from_missing = np.asarray(
+            [missing_index.get(q, 0) for q in self.target_moduli], dtype=np.int64
+        )
 
     def apply(self, polynomial: RnsPolynomial) -> RnsPolynomial:
-        """Return ``polynomial`` represented in the target basis."""
+        """Return ``polynomial`` represented in the target basis.
+
+        A single Conv launch produces the missing limbs; the target matrix
+        is then assembled with two vectorised gathers (copy rows from the
+        group, converted rows from the Conv output).
+        """
         if polynomial.domain != PolyDomain.COEFFICIENT:
             raise ValueError("ModUp requires the coefficient domain")
         if tuple(polynomial.moduli) != self.group_moduli:
             raise ValueError("polynomial basis does not match this ModUp instance")
-        converted = (
-            self._converter.convert_residues(polynomial.residues)
-            if self._converter is not None
-            else np.zeros((0, polynomial.ring_degree), dtype=np.int64)
-        )
-        missing_index = {q: i for i, q in enumerate(self._missing)}
-        group_index = {q: i for i, q in enumerate(self.group_moduli)}
-        rows = []
-        for q in self.target_moduli:
-            if q in group_index:
-                rows.append(polynomial.residues[group_index[q]])
-            else:
-                rows.append(converted[missing_index[q]])
-        return RnsPolynomial(polynomial.ring_degree, self.target_moduli,
-                             np.stack(rows), PolyDomain.COEFFICIENT)
+        ring_degree = polynomial.ring_degree
+        out = np.empty((len(self.target_moduli), ring_degree), dtype=np.int64)
+        out[self._copy_mask] = polynomial.residues[self._from_group[self._copy_mask]]
+        if self._converter is not None:
+            converted = self._converter.convert_residues(polynomial.residues)
+            out[~self._copy_mask] = converted[self._from_missing[~self._copy_mask]]
+        return RnsPolynomial(ring_degree, self.target_moduli, out,
+                             PolyDomain.COEFFICIENT)

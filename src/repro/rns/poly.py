@@ -5,17 +5,33 @@ as a ``(limbs, N)`` int64 matrix — row ``i`` holds the coefficients modulo
 prime ``moduli[i]``.  Polynomials track whether they are in the coefficient
 or the evaluation (NTT) domain; arithmetic helpers enforce matching domains
 and moduli, mirroring the checks a GPU kernel launcher would perform.
+
+Batched execution model
+-----------------------
+The ``(limbs, N)`` matrix is not just storage — it is the execution unit.
+Every arithmetic helper (``add``, ``subtract``, ``negate``, ``hadamard``,
+``scalar_multiply``, ...) is a *single* vectorised 2-D operation with the
+moduli broadcast as a ``(limbs, 1)`` column, and the domain conversions
+hand the whole matrix to the NTT planner's limb-batched transforms.  This
+is the paper's operation-level batching argument applied to the limb axis:
+one fused launch per polynomial instead of ``limb_count`` small kernels.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from ..numtheory.crt import CrtContext
-from ..numtheory.modular import vec_mod_add, vec_mod_mul, vec_mod_neg, vec_mod_sub
+from ..numtheory.modular import (
+    mat_mod_add,
+    mat_mod_mul,
+    mat_mod_neg,
+    mat_mod_scalar_mul,
+    mat_mod_sub,
+)
 from ..ntt.planner import NttPlanner
 
 __all__ = ["PolyDomain", "RnsPolynomial"]
@@ -60,6 +76,8 @@ class RnsPolynomial:
             )
         if self.domain not in (PolyDomain.COEFFICIENT, PolyDomain.EVALUATION):
             raise ValueError("unknown polynomial domain %r" % self.domain)
+        # Broadcast column reused by every vectorised arithmetic helper.
+        self._moduli_column = np.asarray(self.moduli, dtype=np.int64)[:, None]
 
     # ------------------------------------------------------------------
     # Constructors
@@ -73,21 +91,37 @@ class RnsPolynomial:
 
     @classmethod
     def from_integers(cls, coefficients: Iterable[int], moduli: Sequence[int],
-                      ring_degree: int = None) -> "RnsPolynomial":
-        """Build a coefficient-domain polynomial from (possibly signed) integers."""
+                      ring_degree: Optional[int] = None) -> "RnsPolynomial":
+        """Build a coefficient-domain polynomial from (possibly signed) integers.
+
+        The whole residue matrix is produced by one broadcast reduction of
+        the coefficient vector against the ``(limbs, 1)`` moduli column.
+        Arbitrary-precision coefficients (larger than int64) take an exact
+        object-dtype path.
+        """
         coefficients = [int(c) for c in coefficients]
         ring_degree = len(coefficients) if ring_degree is None else ring_degree
         if len(coefficients) != ring_degree:
             raise ValueError("coefficient count does not match ring degree")
         moduli = tuple(int(q) for q in moduli)
-        rows = [[c % q for c in coefficients] for q in moduli]
-        return cls(ring_degree, moduli, np.asarray(rows, dtype=np.int64))
+        column = np.asarray(moduli, dtype=np.int64)[:, None]
+        int64_min, int64_max = -(1 << 63), (1 << 63) - 1
+        if all(int64_min <= c <= int64_max for c in coefficients):
+            residues = np.asarray(coefficients, dtype=np.int64)[None, :] % column
+        else:
+            wide = np.asarray(coefficients, dtype=object)[None, :] % column
+            residues = np.asarray(wide, dtype=np.int64)
+        return cls(ring_degree, moduli, residues)
 
     @classmethod
     def random_uniform(cls, ring_degree: int, moduli: Sequence[int],
                        rng: np.random.Generator,
                        domain: str = PolyDomain.COEFFICIENT) -> "RnsPolynomial":
-        """A polynomial with independently uniform residues (used for the mask ``a``)."""
+        """A polynomial with independently uniform residues (used for the mask ``a``).
+
+        Drawn limb-by-limb so the stream of variates for a given seed is
+        stable across library versions (tests pin seeds).
+        """
         moduli = tuple(int(q) for q in moduli)
         rows = [rng.integers(0, q, ring_degree, dtype=np.int64) for q in moduli]
         return cls(ring_degree, moduli, np.stack(rows), domain)
@@ -95,7 +129,7 @@ class RnsPolynomial:
     @classmethod
     def random_ternary(cls, ring_degree: int, moduli: Sequence[int],
                        rng: np.random.Generator, *,
-                       hamming_weight: int = None) -> "RnsPolynomial":
+                       hamming_weight: Optional[int] = None) -> "RnsPolynomial":
         """A ternary polynomial (secret keys); optionally sparse."""
         if hamming_weight is None:
             signed = rng.integers(-1, 2, ring_degree)
@@ -140,25 +174,23 @@ class RnsPolynomial:
         return crt.compose_array(self.residues, centered=centered)
 
     # ------------------------------------------------------------------
-    # Arithmetic (domain- and basis-checked)
+    # Arithmetic (domain- and basis-checked, single 2-D launches)
     # ------------------------------------------------------------------
     def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Element-wise modular addition (the Ele-Add kernel)."""
         self._check_compatible(other)
-        rows = [vec_mod_add(self.residues[i], other.residues[i], q)
-                for i, q in enumerate(self.moduli)]
-        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows), self.domain)
+        residues = mat_mod_add(self.residues, other.residues, self._moduli_column)
+        return RnsPolynomial(self.ring_degree, self.moduli, residues, self.domain)
 
     def subtract(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Element-wise modular subtraction (the Ele-Sub kernel)."""
         self._check_compatible(other)
-        rows = [vec_mod_sub(self.residues[i], other.residues[i], q)
-                for i, q in enumerate(self.moduli)]
-        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows), self.domain)
+        residues = mat_mod_sub(self.residues, other.residues, self._moduli_column)
+        return RnsPolynomial(self.ring_degree, self.moduli, residues, self.domain)
 
     def negate(self) -> "RnsPolynomial":
-        rows = [vec_mod_neg(self.residues[i], q) for i, q in enumerate(self.moduli)]
-        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows), self.domain)
+        residues = mat_mod_neg(self.residues, self._moduli_column)
+        return RnsPolynomial(self.ring_degree, self.moduli, residues, self.domain)
 
     def hadamard(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Element-wise modular product (the Hada-Mult kernel).
@@ -168,16 +200,13 @@ class RnsPolynomial:
         polynomials should go through the kernel layer or an NTT engine.
         """
         self._check_compatible(other)
-        rows = [vec_mod_mul(self.residues[i], other.residues[i], q)
-                for i, q in enumerate(self.moduli)]
-        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows), self.domain)
+        residues = mat_mod_mul(self.residues, other.residues, self._moduli_column)
+        return RnsPolynomial(self.ring_degree, self.moduli, residues, self.domain)
 
     def scalar_multiply(self, scalar: int) -> "RnsPolynomial":
         """Multiply every residue by an integer scalar."""
-        rows = [vec_mod_mul(self.residues[i],
-                            np.full(self.ring_degree, scalar % q, dtype=np.int64), q)
-                for i, q in enumerate(self.moduli)]
-        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows), self.domain)
+        residues = mat_mod_scalar_mul(self.residues, int(scalar), self._moduli_column)
+        return RnsPolynomial(self.ring_degree, self.moduli, residues, self.domain)
 
     def scalar_multiply_per_limb(self, scalars: Sequence[int]) -> "RnsPolynomial":
         """Multiply limb ``i`` by ``scalars[i]`` (used by key generation).
@@ -187,30 +216,27 @@ class RnsPolynomial:
         """
         if len(scalars) != self.limb_count:
             raise ValueError("need one scalar per limb")
-        rows = [vec_mod_mul(self.residues[i],
-                            np.full(self.ring_degree, int(scalars[i]) % q, dtype=np.int64), q)
-                for i, q in enumerate(self.moduli)]
-        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows), self.domain)
+        residues = mat_mod_scalar_mul(self.residues, [int(s) for s in scalars],
+                                      self._moduli_column)
+        return RnsPolynomial(self.ring_degree, self.moduli, residues, self.domain)
 
     # ------------------------------------------------------------------
-    # Domain conversion
+    # Domain conversion (one limb-batched engine call per polynomial)
     # ------------------------------------------------------------------
     def to_evaluation(self, planner: NttPlanner) -> "RnsPolynomial":
-        """Forward-NTT every limb (no-op if already in the evaluation domain)."""
+        """Forward-NTT all limbs in one batched engine call."""
         if self.domain == PolyDomain.EVALUATION:
             return self.copy()
-        rows = [planner.engine_for(self.ring_degree, q).forward(self.residues[i])
-                for i, q in enumerate(self.moduli)]
-        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows),
+        residues = planner.forward_limbs(self.ring_degree, self.moduli, self.residues)
+        return RnsPolynomial(self.ring_degree, self.moduli, residues,
                              PolyDomain.EVALUATION)
 
     def to_coefficient(self, planner: NttPlanner) -> "RnsPolynomial":
-        """Inverse-NTT every limb (no-op if already in the coefficient domain)."""
+        """Inverse-NTT all limbs in one batched engine call."""
         if self.domain == PolyDomain.COEFFICIENT:
             return self.copy()
-        rows = [planner.engine_for(self.ring_degree, q).inverse(self.residues[i])
-                for i, q in enumerate(self.moduli)]
-        return RnsPolynomial(self.ring_degree, self.moduli, np.stack(rows),
+        residues = planner.inverse_limbs(self.ring_degree, self.moduli, self.residues)
+        return RnsPolynomial(self.ring_degree, self.moduli, residues,
                              PolyDomain.COEFFICIENT)
 
     # ------------------------------------------------------------------
@@ -221,10 +247,11 @@ class RnsPolynomial:
         moduli = tuple(int(q) for q in moduli)
         index_of = {q: i for i, q in enumerate(self.moduli)}
         try:
-            rows = [self.residues[index_of[q]] for q in moduli]
+            indices = [index_of[q] for q in moduli]
         except KeyError as missing:
             raise ValueError("prime %s is not a limb of this polynomial" % missing) from None
-        return RnsPolynomial(self.ring_degree, moduli, np.stack(rows), self.domain)
+        return RnsPolynomial(self.ring_degree, moduli, self.residues[indices],
+                             self.domain)
 
     def drop_last_limb(self) -> "RnsPolynomial":
         """Remove the last limb (used by RESCALE)."""

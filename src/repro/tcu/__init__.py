@@ -2,7 +2,11 @@
 
 from .segmentation import SegmentedMatrix, active_limb_count, limb_weight, segment_matrix
 from .gemm import TILE_K, TILE_M, TILE_N, TcuOverflowError, TcuStats, TensorCoreGemm
-from .fusion import fuse_partial_products, fuse_partial_products_exact
+from .fusion import (
+    fuse_partial_products,
+    fuse_partial_products_exact,
+    fuse_partial_products_limbs,
+)
 from .streams import ScheduleResult, StreamScheduler, StreamTask
 
 __all__ = [
@@ -17,6 +21,7 @@ __all__ = [
     "TILE_N",
     "TILE_K",
     "fuse_partial_products",
+    "fuse_partial_products_limbs",
     "fuse_partial_products_exact",
     "StreamScheduler",
     "StreamTask",

@@ -87,10 +87,46 @@ class TensorCoreGemm:
         self._record(lhs.shape[0], lhs.shape[1], rhs.shape[1])
         return product.astype(np.int64)
 
-    def _check_operand(self, operand: np.ndarray, label: str) -> np.ndarray:
+    def multiply_batch(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Batched u8 GEMM: ``(B, M, K) @ (B, K, P)`` with s32 accumulators.
+
+        One call issues the whole stack (the CUTLASS batched-GEMM launch the
+        paper schedules across streams); the statistics record the same work
+        as ``B`` individual :meth:`multiply` calls.  With u8 operands every
+        product and partial sum stays far below 2**53, so the batch runs on
+        BLAS float64 bit-exactly whenever the inner dimension permits.
+        """
+        lhs = self._check_operand(lhs, "lhs", ndim=3)
+        rhs = self._check_operand(rhs, "rhs", ndim=3)
+        if lhs.shape[0] != rhs.shape[0]:
+            raise ValueError(
+                "batch sizes do not match: %s @ %s" % (lhs.shape, rhs.shape)
+            )
+        if lhs.shape[2] != rhs.shape[1]:
+            raise ValueError(
+                "inner dimensions do not match: %s @ %s" % (lhs.shape, rhs.shape)
+            )
+        if lhs.shape[2] * 0xFF * 0xFF < (1 << 53):
+            product = np.matmul(lhs.astype(np.float64),
+                                rhs.astype(np.float64)).astype(np.int64)
+        else:  # pragma: no cover - u8 inner dims this large never occur here
+            product = np.matmul(lhs.astype(np.int64), rhs.astype(np.int64))
+        if np.any(product > _INT32_MAX) or np.any(product < _INT32_MIN):
+            if not self.wrap_on_overflow:
+                raise TcuOverflowError(
+                    "s32 accumulator overflow in simulated TCU GEMM "
+                    "(inner dimension %d is too large for 8-bit operands)"
+                    % lhs.shape[2]
+                )
+            product = ((product - _INT32_MIN) % (1 << 32)) + _INT32_MIN
+        self._record(lhs.shape[1], lhs.shape[2], rhs.shape[2], batch=lhs.shape[0])
+        return product.astype(np.int64)
+
+    def _check_operand(self, operand: np.ndarray, label: str, *,
+                       ndim: int = 2) -> np.ndarray:
         array = np.asarray(operand)
-        if array.ndim != 2:
-            raise ValueError("%s must be a 2-D matrix" % label)
+        if array.ndim != ndim:
+            raise ValueError("%s must be a %d-D array" % (label, ndim))
         if array.dtype != np.uint8:
             as_int = np.asarray(array, dtype=np.int64)
             if np.any(as_int < 0) or np.any(as_int > 0xFF):
@@ -100,11 +136,11 @@ class TensorCoreGemm:
             array = as_int.astype(np.uint8)
         return array
 
-    def _record(self, m: int, k: int, n: int) -> None:
-        self.stats.gemm_calls += 1
-        self.stats.mac_operations += m * k * n
-        self.stats.elements_produced += m * n
+    def _record(self, m: int, k: int, n: int, *, batch: int = 1) -> None:
+        self.stats.gemm_calls += batch
+        self.stats.mac_operations += batch * m * k * n
+        self.stats.elements_produced += batch * m * n
         tiles_m = -(-m // TILE_M)
         tiles_n = -(-n // TILE_N)
         tiles_k = -(-k // TILE_K)
-        self.stats.tile_launches += tiles_m * tiles_n * tiles_k
+        self.stats.tile_launches += batch * tiles_m * tiles_n * tiles_k

@@ -8,12 +8,19 @@ from hypothesis import strategies as st
 from repro.numtheory import (
     BarrettReducer,
     MontgomeryReducer,
+    mat_mod_add,
+    mat_mod_mul,
+    mat_mod_neg,
+    mat_mod_reduce,
+    mat_mod_scalar_mul,
+    mat_mod_sub,
     mod_add,
     mod_inverse,
     mod_mul,
     mod_neg,
     mod_pow,
     mod_sub,
+    moduli_column,
     vec_mod_add,
     vec_mod_mul,
     vec_mod_neg,
@@ -152,3 +159,58 @@ class TestVectorOps:
         assert np.array_equal(vec_mod_add(a, b, SMALL_PRIME), (a + b) % SMALL_PRIME)
         assert np.array_equal(vec_mod_sub(a, b, SMALL_PRIME), (a - b) % SMALL_PRIME)
         assert np.array_equal(vec_mod_mul(a, b, SMALL_PRIME), (a * b) % SMALL_PRIME)
+
+
+class TestMatrixOps:
+    """Matrix-modular helpers: whole (limbs, N) launches vs per-row vec ops."""
+
+    MODULI = (7681, 12289, 40961)
+
+    def _pair(self, rng):
+        column = moduli_column(self.MODULI)
+        a = rng.integers(0, column, (len(self.MODULI), 24), dtype=np.int64)
+        b = rng.integers(0, column, (len(self.MODULI), 24), dtype=np.int64)
+        return a, b
+
+    def test_moduli_column_shape(self):
+        column = moduli_column(self.MODULI)
+        assert column.shape == (3, 1)
+        assert moduli_column(column) is not None  # idempotent on 2-D input
+
+    def test_mat_ops_match_vec_ops(self, rng):
+        a, b = self._pair(rng)
+        for mat_op, vec_op in [
+            (mat_mod_add, vec_mod_add),
+            (mat_mod_sub, vec_mod_sub),
+            (mat_mod_mul, vec_mod_mul),
+        ]:
+            batched = mat_op(a, b, self.MODULI)
+            for i, q in enumerate(self.MODULI):
+                assert np.array_equal(batched[i], vec_op(a[i], b[i], q))
+
+    def test_mat_neg_and_reduce(self, rng):
+        a, _ = self._pair(rng)
+        negated = mat_mod_neg(a, self.MODULI)
+        for i, q in enumerate(self.MODULI):
+            assert np.array_equal(negated[i], vec_mod_neg(a[i], q))
+        unreduced = a * 3 - 5
+        reduced = mat_mod_reduce(unreduced, self.MODULI)
+        for i, q in enumerate(self.MODULI):
+            assert np.array_equal(reduced[i], unreduced[i] % q)
+
+    def test_mat_scalar_mul_single_and_per_limb(self, rng):
+        a, _ = self._pair(rng)
+        tripled = mat_mod_scalar_mul(a, 3, self.MODULI)
+        for i, q in enumerate(self.MODULI):
+            assert np.array_equal(tripled[i], (3 * a[i]) % q)
+        per_limb = mat_mod_scalar_mul(a, [1, 2, -1], self.MODULI)
+        assert np.array_equal(per_limb[0], a[0])
+        assert np.array_equal(per_limb[1], (2 * a[1]) % self.MODULI[1])
+        assert np.array_equal(per_limb[2], (-a[2]) % self.MODULI[2])
+
+    def test_mat_scalar_mul_huge_scalar(self):
+        a = np.ones((3, 4), dtype=np.int64)
+        huge = 1 << 200
+        scaled = mat_mod_scalar_mul(a, huge, self.MODULI)
+        for i, q in enumerate(self.MODULI):
+            assert np.all(scaled[i] == huge % q)
