@@ -6,7 +6,10 @@ Times a whole-polynomial transform two ways on the functional engines:
   launch pattern the seed reproduction used (and the paper's Figure 1
   criticises: many small kernels that cannot saturate the hardware);
 * **limb-batched** — one ``engine.forward_limbs`` call over the stacked
-  ``(limbs, N)`` residue matrix, the fused-launch model of Section IV-C.
+  ``(limbs, N)`` residue matrix, the fused-launch model of Section IV-C,
+  pinned to the ``blas`` compute backend (the exact float64 fast path the
+  batching refactor shipped with, now a named backend; see
+  ``bench_backends.py`` for the cross-backend comparison).
 
 Results print as a table and are written as JSON through
 ``bench_common.write_results`` so the speedup is tracked in the perf
@@ -64,7 +67,10 @@ def _measure(function, repeats: int = REPEATS) -> float:
 
 def _time_engine(engine_name: str, ring_degree: int, limbs: int):
     primes = generate_ntt_primes(limbs, PRIME_BITS, ring_degree)
-    planner = NttPlanner(engine_name)
+    # The batched execution model ships with its BLAS float64 fast path,
+    # which now lives in the backend subsystem under the name ``blas``
+    # (the per-limb seed path is unaffected: 2-D GEMMs stay on int64).
+    planner = NttPlanner(engine_name, backend="blas")
     rng = np.random.default_rng(0)
     residues = np.stack([
         rng.integers(0, q, ring_degree, dtype=np.int64) for q in primes

@@ -3,6 +3,8 @@ Encrypted Data Using GPGPU* (HPCA 2023).
 
 The package is layered (see DESIGN.md):
 
+* :mod:`repro.backend` — pluggable compute substrates (numpy / BLAS
+  float64 / multiprocess / torch / cupy) behind the batched-GEMM funnel;
 * :mod:`repro.numtheory`, :mod:`repro.ntt`, :mod:`repro.tcu`, :mod:`repro.rns`
   — arithmetic substrates, including the tensor-core segmented NTT;
 * :mod:`repro.kernels`, :mod:`repro.ckks` — the hierarchical CKKS
@@ -14,6 +16,12 @@ The package is layered (see DESIGN.md):
 """
 
 from .api import TensorFheContext
+from .backend import (
+    available_backends,
+    get_active_backend,
+    set_active_backend,
+    use_backend,
+)
 from .ckks import (
     Ciphertext,
     CkksContext,
@@ -44,6 +52,10 @@ __all__ = [
     "get_preset",
     "create_engine",
     "available_engines",
+    "available_backends",
+    "get_active_backend",
+    "set_active_backend",
+    "use_backend",
     "OperationModel",
     "ModelParameters",
     "WorkloadModel",

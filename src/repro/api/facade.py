@@ -10,10 +10,12 @@ operations as plain methods so applications never touch the lower layers.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from ..backend.base import ArrayBackend
+from ..backend.registry import resolve_backend
 from ..batching.scheduler import BatchPlan, BatchScheduler
 from ..ckks.ciphertext import Ciphertext, Plaintext
 from ..ckks.context import CkksContext
@@ -30,9 +32,10 @@ __all__ = ["TensorFheContext"]
 class TensorFheContext:
     """One-stop facade over key generation, encryption and evaluation."""
 
-    def __init__(self, parameters: CkksParameters, *, seed: int = None,
-                 rotation_steps: Iterable[int] = (), gpu: GpuSpec = A100) -> None:
-        self.context = CkksContext(parameters, seed=seed)
+    def __init__(self, parameters: CkksParameters, *, seed: Optional[int] = None,
+                 rotation_steps: Iterable[int] = (), gpu: GpuSpec = A100,
+                 backend: Union[None, str, "ArrayBackend"] = None) -> None:
+        self.context = CkksContext(parameters, seed=seed, backend=backend)
         self.gpu = gpu
         self._keygen = KeyGenerator(self.context)
         self.secret_key = self._keygen.generate_secret_key()
@@ -47,10 +50,12 @@ class TensorFheContext:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_preset(cls, name: str, *, seed: int = None,
-                    rotation_steps: Iterable[int] = ()) -> "TensorFheContext":
+    def from_preset(cls, name: str, *, seed: Optional[int] = None,
+                    rotation_steps: Iterable[int] = (),
+                    backend: Union[None, str, "ArrayBackend"] = None) -> "TensorFheContext":
         """Build a context from a named parameter preset."""
-        return cls(get_preset(name), seed=seed, rotation_steps=rotation_steps)
+        return cls(get_preset(name), seed=seed, rotation_steps=rotation_steps,
+                   backend=backend)
 
     # ------------------------------------------------------------------
     @property
@@ -66,6 +71,19 @@ class TensorFheContext:
         """Kernel instrumentation counters of this context."""
         return self.context.kernels.counter
 
+    @property
+    def compute_backend(self) -> str:
+        """Name of the backend this context's NTT-engine GEMMs launch on.
+
+        An explicit ``backend=`` pin covers the engine GEMM launches (the
+        dominant cost); element-wise mat-mod kernels and the basis-
+        conversion GEMM always follow the *process-wide* active backend.
+        To route every launch, select the backend process-wide instead
+        (``REPRO_BACKEND`` or :func:`repro.set_active_backend`) — with no
+        pin, this property reports exactly that backend.
+        """
+        return resolve_backend(self.context.planner.backend).name
+
     def ensure_rotation_keys(self, steps: Iterable[int]) -> None:
         """Generate any missing rotation keys for ``steps``."""
         missing = [step for step in steps
@@ -77,7 +95,7 @@ class TensorFheContext:
     # ------------------------------------------------------------------
     # Encryption / decryption
     # ------------------------------------------------------------------
-    def encode(self, values: Sequence[complex], *, level: int = None) -> Plaintext:
+    def encode(self, values: Sequence[complex], *, level: Optional[int] = None) -> Plaintext:
         return self.encryptor.encode(values, level=level)
 
     def encrypt(self, values: Sequence[complex]) -> Ciphertext:
@@ -124,14 +142,15 @@ class TensorFheContext:
     def rescale(self, ciphertext: Ciphertext) -> Ciphertext:
         return self.evaluator.rescale(ciphertext)
 
-    def inner_sum(self, ciphertext: Ciphertext, count: int = None) -> Ciphertext:
+    def inner_sum(self, ciphertext: Ciphertext, count: Optional[int] = None) -> Ciphertext:
         """Sum the first ``count`` (power-of-two) slots into every slot."""
         count = self.slot_count if count is None else count
         self.ensure_rotation_keys([1 << i for i in range(max(1, count.bit_length() - 1))])
         return self.evaluator.rotate_and_sum(ciphertext, self.rotation_keys, count)
 
     # ------------------------------------------------------------------
-    def plan_batch(self, *, level: int = None, requested: int = None) -> BatchPlan:
+    def plan_batch(self, *, level: Optional[int] = None,
+                   requested: Optional[int] = None) -> BatchPlan:
         """Ask the API layer for the operation-level batch size it would use."""
         level = self.context.max_level if level is None else level
         return self.batch_scheduler.plan(

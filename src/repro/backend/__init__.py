@@ -1,0 +1,46 @@
+"""Pluggable compute backends for the batched modular-GEMM substrate.
+
+See :mod:`repro.backend.base` for the interface contract and
+:mod:`repro.backend.registry` for runtime selection (``REPRO_BACKEND`` env
+var, ``set_active_backend`` or explicit ``backend=`` arguments).
+"""
+
+from .base import ArrayBackend
+from .blas_backend import BlasFloat64Backend, FloatOperandCache
+from .cupy_backend import CupyBackend
+from .multiprocess_backend import MultiprocessBackend
+from .numpy_backend import NumpyBackend, max_safe_chunk
+from .registry import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    available_backends,
+    get_active_backend,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    set_active_backend,
+    use_backend,
+)
+from .torch_backend import TorchBackend
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "BlasFloat64Backend",
+    "MultiprocessBackend",
+    "TorchBackend",
+    "CupyBackend",
+    "FloatOperandCache",
+    "max_safe_chunk",
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "register_backend",
+    "registered_backends",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "get_active_backend",
+    "set_active_backend",
+    "use_backend",
+]

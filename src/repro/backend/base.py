@@ -1,0 +1,142 @@
+"""The ``ArrayBackend`` interface: one compute substrate for the GEMM funnel.
+
+The limb-batched refactor funnelled every hot path of the library through a
+handful of array primitives — batched modular GEMMs
+(:meth:`ArrayBackend.matmul_limbs`), element-wise mat-mod kernels and the
+row-moduli GEMM of the fast basis conversion.  This module defines that
+funnel as an explicit interface so the substrate becomes pluggable: the
+engines, the RNS layer and the CKKS stack call the *active* backend and
+never name a concrete array library.
+
+Implementations registered with :mod:`repro.backend.registry`:
+
+* ``numpy`` — exact chunked int64 arithmetic, the zero-dependency default;
+* ``blas`` — the 2**53-guarded float64 BLAS fast path (bit-exact);
+* ``multiprocess`` — shards the limb axis of large batched GEMMs across a
+  process pool with shared-memory operands;
+* ``torch`` / ``cupy`` — optional accelerator stubs that register only when
+  the library imports.
+
+Contract
+--------
+Every method receives ``numpy.int64`` arrays whose entries are already
+reduced modulo their (row's) modulus, with every modulus below ``2**31`` so
+a product of two residues fits in int64; the oversized-moduli object-dtype
+fallbacks stay in the dispatching funnels (:mod:`repro.ntt.gemm_utils`,
+:mod:`repro.numtheory.modular`).  Methods return reduced int64 arrays.
+Device-resident backends convert at the boundary via :meth:`to_device` /
+:meth:`from_device`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend(abc.ABC):
+    """Compute substrate for the batched modular-GEMM funnel."""
+
+    #: Registry identifier (also what ``REPRO_BACKEND`` selects).
+    name = "abstract"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend can run in the current process.
+
+        Optional-dependency backends (torch, cupy) override this with an
+        import probe; they register unconditionally but are only listed by
+        :func:`repro.backend.registry.available_backends` when importable.
+        """
+        return True
+
+    # ------------------------------------------------------------------
+    # Allocation / transfer hooks
+    # ------------------------------------------------------------------
+    def to_device(self, array: np.ndarray) -> object:
+        """Move an int64 host array into this backend's native storage."""
+        return np.asarray(array, dtype=np.int64)
+
+    def from_device(self, array: object) -> np.ndarray:
+        """Move a native array back to an int64 host ``numpy.ndarray``."""
+        return np.asarray(array, dtype=np.int64)
+
+    def empty(self, shape, dtype=np.int64) -> object:
+        """Allocate an uninitialised native array (result staging)."""
+        return np.empty(shape, dtype=dtype)
+
+    def synchronize(self) -> None:
+        """Block until queued device work is complete (no-op on CPU)."""
+
+    # ------------------------------------------------------------------
+    # Batched modular GEMMs (the hot path)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def matmul_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
+                     moduli: np.ndarray, *,
+                     lhs_cache: Optional[object] = None,
+                     rhs_cache: Optional[object] = None) -> np.ndarray:
+        """Batched GEMM ``out[i] = (lhs[i] @ rhs[i]) mod moduli[i]``.
+
+        ``lhs`` is ``(limbs, M, K)``, ``rhs`` is ``(limbs, K, P)``.  The
+        optional caches are :class:`~repro.backend.blas_backend.FloatOperandCache`
+        instances for a reusable operand (the twiddle stacks); backends
+        that cannot exploit them must ignore them.
+        """
+
+    @abc.abstractmethod
+    def matmul(self, lhs: np.ndarray, rhs: np.ndarray, modulus: int) -> np.ndarray:
+        """Exact 2-D modular GEMM ``(lhs @ rhs) mod modulus``."""
+
+    @abc.abstractmethod
+    def matmul_rows(self, lhs: np.ndarray, rhs: np.ndarray,
+                    row_moduli: np.ndarray, *,
+                    operand_bound: Optional[int] = None) -> np.ndarray:
+        """Row-moduli GEMM ``out[j] = (lhs[j] @ rhs) mod row_moduli[j]``.
+
+        The fast-basis-conversion shape: operand rows may live in residue
+        domains other than ``row_moduli``, so overflow bounds come from the
+        operand maxima, not the moduli.  ``operand_bound`` is the caller's
+        precomputed ``max(lhs) * max(rhs)`` (the funnel already scanned the
+        operands for its own object-path guard); implementations fall back
+        to scanning when it is absent.
+        """
+
+    # ------------------------------------------------------------------
+    # Element-wise mat-mod kernels (one launch per (limbs, N) matrix)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def hadamard_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
+                       moduli: np.ndarray) -> np.ndarray:
+        """Element-wise ``(lhs * rhs) mod moduli`` along the leading limb axis."""
+
+    @abc.abstractmethod
+    def hadamard(self, lhs: np.ndarray, rhs: np.ndarray, modulus: int) -> np.ndarray:
+        """Element-wise ``(lhs * rhs) mod modulus`` (single modulus)."""
+
+    @abc.abstractmethod
+    def mat_reduce(self, matrix: np.ndarray, moduli: np.ndarray) -> np.ndarray:
+        """Row-wise ``matrix[i] mod moduli[i]``."""
+
+    @abc.abstractmethod
+    def mat_add(self, a: np.ndarray, b: np.ndarray, moduli: np.ndarray) -> np.ndarray:
+        """Row-wise ``(a + b) mod moduli`` for reduced operands (Ele-Add)."""
+
+    @abc.abstractmethod
+    def mat_sub(self, a: np.ndarray, b: np.ndarray, moduli: np.ndarray) -> np.ndarray:
+        """Row-wise ``(a - b) mod moduli`` for reduced operands (Ele-Sub)."""
+
+    @abc.abstractmethod
+    def mat_neg(self, a: np.ndarray, moduli: np.ndarray) -> np.ndarray:
+        """Row-wise ``(-a) mod moduli``."""
+
+    @abc.abstractmethod
+    def mat_mul(self, a: np.ndarray, b: np.ndarray, moduli: np.ndarray) -> np.ndarray:
+        """Row-wise ``(a * b) mod moduli`` (Hada-Mult on matrices)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "%s(name=%r)" % (type(self).__name__, self.name)

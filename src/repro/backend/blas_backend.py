@@ -1,0 +1,117 @@
+"""BLAS float64 backend: the exact fast path for the batched GEMMs.
+
+The limb-batched GEMMs run on BLAS float64 whenever the 2**53 mantissa
+bound keeps them exact — the software analogue of the paper lowering GEMMs
+to low-precision tensor-core arithmetic.  Historically this fast path lived
+ad hoc inside :mod:`repro.ntt.gemm_utils`; it is now a backend in its own
+right, selectable with ``REPRO_BACKEND=blas``, and every launch that the
+mantissa guard rejects falls back to the exact chunked-int64 arithmetic of
+:class:`~repro.backend.numpy_backend.NumpyBackend`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .numpy_backend import NumpyBackend
+
+__all__ = ["BlasFloat64Backend", "FloatOperandCache", "FLOAT_EXACT_LIMIT"]
+
+#: Largest integer magnitude float64 represents exactly (2**53); products and
+#: partial sums below this bound make a BLAS dgemm bit-exact.
+FLOAT_EXACT_LIMIT = 1 << 53
+
+
+class FloatOperandCache:
+    """Lazily cached float64 forms of a reusable int64 GEMM operand.
+
+    Twiddle stacks are reused across every NTT of an instance, so their
+    float64 image (and, for larger moduli, a high/low split that restores
+    exactness) is built once and cached here.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self.matrix = np.asarray(matrix, dtype=np.int64)
+        self.max_value = int(self.matrix.max(initial=0))
+        self._full = None
+        self._split = None
+
+    def full(self) -> np.ndarray:
+        """The operand converted to float64 (exact: entries < 2**31 < 2**53)."""
+        if self._full is None:
+            self._full = self.matrix.astype(np.float64)
+        return self._full
+
+    def split(self):
+        """``(shift, hi, lo)`` with ``matrix == hi * 2**shift + lo``.
+
+        Splitting roughly halves the bit-width of each part, so each of
+        the two partial GEMMs fits the float64 exactness bound for moduli
+        too large for a single pass.
+        """
+        if self._split is None:
+            shift = max(1, (self.max_value.bit_length() + 1) // 2)
+            hi = (self.matrix >> shift).astype(np.float64)
+            lo = (self.matrix & ((1 << shift) - 1)).astype(np.float64)
+            self._split = (shift, hi, lo)
+        return self._split
+
+
+def float_matmul_limbs(lhs, rhs, column, inner, lhs_cache, rhs_cache):
+    """Exact float64 fast path for the batched GEMM, or None if unsafe.
+
+    One operand side carries a :class:`FloatOperandCache` (the reusable
+    twiddle stack); the other is converted per call.  Falls back to None
+    when even the split operand would break the 2**53 exactness bound.
+    """
+    cache = lhs_cache if lhs_cache is not None else rhs_cache
+    other = rhs if lhs_cache is not None else lhs
+    other_bound = int(column.max()) - 1
+
+    def combine(product):
+        return np.rint(product).astype(np.int64) % column
+
+    if inner * cache.max_value * other_bound < FLOAT_EXACT_LIMIT:
+        other_f = other.astype(np.float64)
+        if lhs_cache is not None:
+            return combine(np.matmul(cache.full(), other_f))
+        return combine(np.matmul(other_f, cache.full()))
+
+    shift, hi, lo = cache.split()
+    hi_max = max(1, cache.max_value >> shift)
+    lo_max = (1 << shift) - 1
+    if inner * max(hi_max, lo_max) * other_bound >= FLOAT_EXACT_LIMIT:
+        return None
+    other_f = other.astype(np.float64)
+    if lhs_cache is not None:
+        high = combine(np.matmul(hi, other_f))
+        low = combine(np.matmul(lo, other_f))
+    else:
+        high = combine(np.matmul(other_f, hi))
+        low = combine(np.matmul(other_f, lo))
+    weight = (1 << shift) % column
+    return (low + (high * weight) % column) % column
+
+
+class BlasFloat64Backend(NumpyBackend):
+    """Guarded float64 BLAS substrate (bit-exact, int64 fallback)."""
+
+    name = "blas"
+
+    def matmul_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
+                     moduli: np.ndarray, *,
+                     lhs_cache: Optional[FloatOperandCache] = None,
+                     rhs_cache: Optional[FloatOperandCache] = None) -> np.ndarray:
+        column = np.asarray(moduli, dtype=np.int64).reshape(-1, 1, 1)
+        inner = lhs.shape[2]
+        if lhs_cache is None and rhs_cache is None:
+            # No reusable operand: cache the (typically smaller) rhs side
+            # for this call so the launch can still run on dgemm.
+            rhs_cache = FloatOperandCache(rhs)
+        result = float_matmul_limbs(lhs, rhs, column, inner,
+                                    lhs_cache, rhs_cache)
+        if result is not None:
+            return result
+        return super().matmul_limbs(lhs, rhs, moduli)

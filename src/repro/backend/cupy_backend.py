@@ -1,0 +1,73 @@
+"""Optional cupy backend: the batched GEMM funnel on a CUDA device.
+
+Mirrors :class:`~repro.backend.torch_backend.TorchBackend` for the cupy
+array library.  cupy's int64 ``matmul`` runs on the GPU with the same
+wrap-on-overflow semantics as numpy, so the exact chunked accumulation
+carries over unchanged; operands are staged once per launch and results
+copied back to the host at the funnel boundary.
+
+Registers unconditionally, reports unavailable when ``import cupy`` fails.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .numpy_backend import NumpyBackend, max_safe_chunk
+
+__all__ = ["CupyBackend"]
+
+try:  # pragma: no cover - exercised only where cupy is installed
+    import cupy
+except ImportError:  # pragma: no cover
+    cupy = None
+
+
+class CupyBackend(NumpyBackend):
+    """Batched modular GEMMs on cupy int64 device arrays."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        if cupy is None:
+            raise RuntimeError("cupy is not installed; CupyBackend is unavailable")
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return cupy is not None
+
+    # ------------------------------------------------------------------
+    def to_device(self, array: np.ndarray):
+        return cupy.asarray(np.ascontiguousarray(array, dtype=np.int64))
+
+    def from_device(self, array) -> np.ndarray:
+        if cupy is not None and isinstance(array, cupy.ndarray):
+            return cupy.asnumpy(array)
+        return np.asarray(array, dtype=np.int64)
+
+    def synchronize(self) -> None:  # pragma: no cover - CUDA only
+        cupy.cuda.get_current_stream().synchronize()
+
+    # ------------------------------------------------------------------
+    def matmul_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
+                     moduli: np.ndarray, *,
+                     lhs_cache: Optional[object] = None,
+                     rhs_cache: Optional[object] = None) -> np.ndarray:
+        lhs_d = self.to_device(lhs)
+        rhs_d = self.to_device(rhs)
+        column = self.to_device(np.asarray(moduli, dtype=np.int64)).reshape(-1, 1, 1)
+        inner = lhs.shape[2]
+        chunk = max_safe_chunk(int(np.asarray(moduli).max()))
+        if chunk >= inner:
+            out = cupy.matmul(lhs_d, rhs_d) % column
+        else:
+            out = cupy.zeros((lhs.shape[0], lhs.shape[1], rhs.shape[2]),
+                             dtype=cupy.int64)
+            for start in range(0, inner, chunk):
+                stop = min(start + chunk, inner)
+                partial = cupy.matmul(lhs_d[:, :, start:stop],
+                                      rhs_d[:, start:stop, :]) % column
+                out = (out + partial) % column
+        return self.from_device(out)

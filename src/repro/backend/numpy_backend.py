@@ -1,0 +1,133 @@
+"""Exact chunked-int64 backend: the zero-dependency default substrate.
+
+NumPy's int64 matmul silently wraps on overflow, so the GEMMs split the
+inner (reduction) dimension into chunks small enough that
+``chunk * (q-1)**2`` stays below 2**62 and reduce modulo ``q`` between
+chunks.  This matches the paper's observation that avoiding per-element
+modulo reductions and instead reducing an accumulator occasionally is what
+makes the matrix formulation fast; here it additionally keeps the Python
+implementation exact for arbitrary 30-bit moduli.
+
+This module is also the canonical home of the vectorised mat-mod kernels:
+the public helpers in :mod:`repro.numtheory.modular` and
+:mod:`repro.ntt.gemm_utils` dispatch to the active backend, and every other
+backend inherits these int64 implementations as its exact fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import ArrayBackend
+
+__all__ = ["NumpyBackend", "max_safe_chunk"]
+
+_SAFE_ACCUMULATOR_BITS = 62
+
+
+def max_safe_chunk(modulus: int) -> int:
+    """Largest inner-dimension chunk whose accumulation cannot overflow int64."""
+    limit = 1 << _SAFE_ACCUMULATOR_BITS
+    per_term = (modulus - 1) * (modulus - 1)
+    if per_term == 0:
+        return limit
+    return max(1, limit // per_term)
+
+
+def _moduli_column(moduli, ndim: int) -> np.ndarray:
+    """Reshape a moduli vector to broadcast over the trailing ``ndim - 1`` axes."""
+    moduli = np.asarray(moduli, dtype=np.int64)
+    if moduli.ndim == 0:
+        moduli = moduli.reshape(1)
+    return moduli.reshape((moduli.shape[0],) + (1,) * (ndim - 1))
+
+
+class NumpyBackend(ArrayBackend):
+    """Pure-numpy int64 substrate, exact for all moduli below 2**31."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # Batched modular GEMMs
+    # ------------------------------------------------------------------
+    def matmul_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
+                     moduli: np.ndarray, *,
+                     lhs_cache: Optional[object] = None,
+                     rhs_cache: Optional[object] = None) -> np.ndarray:
+        column = _moduli_column(moduli, 3)
+        inner = lhs.shape[2]
+        chunk = max_safe_chunk(int(column.max()))
+        if chunk >= inner:
+            return np.matmul(lhs, rhs) % column
+        result = np.zeros((lhs.shape[0], lhs.shape[1], rhs.shape[2]), dtype=np.int64)
+        for start in range(0, inner, chunk):
+            stop = min(start + chunk, inner)
+            partial = np.matmul(lhs[:, :, start:stop], rhs[:, start:stop, :]) % column
+            result = (result + partial) % column
+        return result
+
+    def matmul(self, lhs: np.ndarray, rhs: np.ndarray, modulus: int) -> np.ndarray:
+        inner = lhs.shape[-1]
+        chunk = max_safe_chunk(modulus)
+        if chunk >= inner:
+            return (lhs @ rhs) % modulus
+        result = np.zeros(lhs.shape[:-1] + rhs.shape[1:], dtype=np.int64)
+        for start in range(0, inner, chunk):
+            stop = min(start + chunk, inner)
+            partial = (lhs[..., start:stop] @ rhs[start:stop]) % modulus
+            result = (result + partial) % modulus
+        return result
+
+    def matmul_rows(self, lhs: np.ndarray, rhs: np.ndarray,
+                    row_moduli: np.ndarray, *,
+                    operand_bound: Optional[int] = None) -> np.ndarray:
+        column = _moduli_column(row_moduli, 2)
+        inner = lhs.shape[-1]
+        # Operand entries may live in residue domains other than the output
+        # rows' primes, so the chunk bound comes from the actual maxima.
+        per_term = (operand_bound if operand_bound is not None
+                    else int(lhs.max(initial=0)) * int(rhs.max(initial=0)))
+        chunk = inner if per_term == 0 else max(
+            1, (1 << _SAFE_ACCUMULATOR_BITS) // per_term)
+        if chunk >= inner:
+            return (lhs @ rhs) % column
+        result = np.zeros((lhs.shape[0], rhs.shape[1]), dtype=np.int64)
+        for start in range(0, inner, chunk):
+            stop = min(start + chunk, inner)
+            partial = (lhs[:, start:stop] @ rhs[start:stop]) % column
+            result = (result + partial) % column
+        return result
+
+    # ------------------------------------------------------------------
+    # Element-wise mat-mod kernels
+    # ------------------------------------------------------------------
+    def hadamard_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
+                       moduli: np.ndarray) -> np.ndarray:
+        return (lhs * rhs) % _moduli_column(moduli, lhs.ndim)
+
+    def hadamard(self, lhs: np.ndarray, rhs: np.ndarray, modulus: int) -> np.ndarray:
+        return (lhs * rhs) % modulus
+
+    def mat_reduce(self, matrix: np.ndarray, moduli: np.ndarray) -> np.ndarray:
+        return matrix % _moduli_column(moduli, matrix.ndim)
+
+    def mat_add(self, a: np.ndarray, b: np.ndarray, moduli: np.ndarray) -> np.ndarray:
+        column = _moduli_column(moduli, a.ndim)
+        out = a + b
+        np.subtract(out, column, out=out, where=out >= column)
+        return out
+
+    def mat_sub(self, a: np.ndarray, b: np.ndarray, moduli: np.ndarray) -> np.ndarray:
+        column = _moduli_column(moduli, a.ndim)
+        out = a - b
+        np.add(out, column, out=out, where=out < 0)
+        return out
+
+    def mat_neg(self, a: np.ndarray, moduli: np.ndarray) -> np.ndarray:
+        column = _moduli_column(moduli, a.ndim)
+        return ((column - a) % column).astype(np.int64)
+
+    def mat_mul(self, a: np.ndarray, b: np.ndarray, moduli: np.ndarray) -> np.ndarray:
+        return (a * b) % _moduli_column(moduli, a.ndim)

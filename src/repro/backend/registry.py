@@ -1,0 +1,153 @@
+"""Backend registry and runtime selection.
+
+Selection precedence, highest first:
+
+1. an explicit ``backend=`` argument (on ``TensorFheContext``,
+   ``CkksContext``, ``NttPlanner`` or any funnel helper) — accepts a
+   registered name or an :class:`~repro.backend.base.ArrayBackend` instance;
+2. a process-wide override installed with :func:`set_active_backend` (or
+   scoped with the :func:`use_backend` context manager);
+3. the ``REPRO_BACKEND`` environment variable;
+4. the zero-dependency ``numpy`` default.
+
+Backends register a *class*; one instance per name is created lazily and
+shared process-wide (the multiprocess backend's worker pool, for example,
+is per-instance state worth sharing).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple, Type, Union
+
+from .base import ArrayBackend
+from .blas_backend import BlasFloat64Backend
+from .cupy_backend import CupyBackend
+from .multiprocess_backend import MultiprocessBackend
+from .numpy_backend import NumpyBackend
+from .torch_backend import TorchBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "register_backend",
+    "available_backends",
+    "registered_backends",
+    "get_backend",
+    "resolve_backend",
+    "get_active_backend",
+    "set_active_backend",
+    "use_backend",
+]
+
+#: Environment variable consulted when no explicit backend is supplied.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+#: Name used when neither an argument, an override nor the env var selects one.
+DEFAULT_BACKEND = NumpyBackend.name
+
+BackendSpec = Union[None, str, ArrayBackend]
+
+_REGISTRY: Dict[str, Type[ArrayBackend]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+#: Process-wide override installed by :func:`set_active_backend` (None means
+#: "resolve from the environment").
+_ACTIVE: Optional[ArrayBackend] = None
+
+
+def register_backend(backend_cls: Type[ArrayBackend]) -> Type[ArrayBackend]:
+    """Register a backend class under its ``name`` (usable as a decorator).
+
+    Optional-dependency backends register unconditionally; availability is
+    checked at lookup time via ``is_available`` so that merely listing
+    backends never imports a heavy library.
+    """
+    name = backend_cls.name
+    if not name or name == ArrayBackend.name:
+        raise ValueError("backend class %r needs a concrete name" % backend_cls)
+    _REGISTRY[name] = backend_cls
+    _INSTANCES.pop(name, None)
+    return backend_cls
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Names of all registered backends, available or not."""
+    return tuple(_REGISTRY)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends that can run in this process."""
+    return tuple(name for name, cls in _REGISTRY.items() if cls.is_available())
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """Return the shared instance of backend ``name``.
+
+    Raises
+    ------
+    ValueError
+        If the name is unregistered or its optional dependency is missing.
+    """
+    try:
+        backend_cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            "unknown compute backend %r; registered: %s"
+            % (name, ", ".join(_REGISTRY))
+        ) from None
+    if not backend_cls.is_available():
+        raise ValueError(
+            "compute backend %r is registered but unavailable "
+            "(optional dependency not installed)" % name
+        )
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = backend_cls()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def get_active_backend() -> ArrayBackend:
+    """The backend the funnels use when no explicit one is passed."""
+    if _ACTIVE is not None:
+        return _ACTIVE
+    return get_backend(os.environ.get(BACKEND_ENV_VAR, DEFAULT_BACKEND))
+
+
+def set_active_backend(backend: BackendSpec) -> Optional[ArrayBackend]:
+    """Install a process-wide backend override; returns the previous one.
+
+    ``None`` clears the override, restoring ``REPRO_BACKEND``/default
+    resolution.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None if backend is None else resolve_backend(backend)
+    return previous
+
+
+@contextmanager
+def use_backend(backend: BackendSpec) -> Iterator[ArrayBackend]:
+    """Scoped :func:`set_active_backend` (restores the previous override)."""
+    previous = set_active_backend(backend)
+    try:
+        yield get_active_backend()
+    finally:
+        global _ACTIVE
+        _ACTIVE = previous
+
+
+def resolve_backend(backend: BackendSpec) -> ArrayBackend:
+    """Normalise a backend spec (None / name / instance) to an instance."""
+    if backend is None:
+        return get_active_backend()
+    if isinstance(backend, ArrayBackend):
+        return backend
+    return get_backend(backend)
+
+
+register_backend(NumpyBackend)
+register_backend(BlasFloat64Backend)
+register_backend(MultiprocessBackend)
+register_backend(TorchBackend)
+register_backend(CupyBackend)

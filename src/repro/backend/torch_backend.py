@@ -1,0 +1,98 @@
+"""Optional torch backend: the batched GEMM funnel on ``torch.matmul``.
+
+A thin proof of the backend seam: the same chunked-exact modular GEMMs,
+lowered to torch tensors.  CPU torch is enough to exercise the whole CKKS
+stack through it (that is what CI does when torch is installed); on a CUDA
+build, passing ``device="cuda"`` stages the operands on the GPU, which is
+the first step toward the paper's actual execution model.
+
+The backend registers unconditionally but reports itself unavailable when
+``import torch`` fails, so the library keeps zero hard dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .numpy_backend import NumpyBackend, max_safe_chunk
+
+__all__ = ["TorchBackend"]
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+except ImportError:  # pragma: no cover
+    torch = None
+
+
+class TorchBackend(NumpyBackend):
+    """Batched modular GEMMs on torch int64 tensors (CPU by default).
+
+    Element-wise mat-mod kernels are memory-bound and stay on the inherited
+    numpy implementations; only the GEMM launches are lowered to torch.
+    """
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu") -> None:
+        if torch is None:
+            raise RuntimeError("torch is not installed; TorchBackend is unavailable")
+        self.device = torch.device(device)
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return torch is not None
+
+    # ------------------------------------------------------------------
+    def to_device(self, array: np.ndarray):
+        return torch.from_numpy(np.ascontiguousarray(array, dtype=np.int64)).to(self.device)
+
+    def from_device(self, array) -> np.ndarray:
+        if torch is not None and isinstance(array, torch.Tensor):
+            return array.cpu().numpy()
+        return np.asarray(array, dtype=np.int64)
+
+    def synchronize(self) -> None:
+        if self.device.type == "cuda":  # pragma: no cover - CUDA only
+            torch.cuda.synchronize(self.device)
+
+    # ------------------------------------------------------------------
+    def matmul_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
+                     moduli: np.ndarray, *,
+                     lhs_cache: Optional[object] = None,
+                     rhs_cache: Optional[object] = None) -> np.ndarray:
+        lhs_t = self.to_device(lhs)
+        rhs_t = self.to_device(rhs)
+        column = self.to_device(np.asarray(moduli, dtype=np.int64)).reshape(-1, 1, 1)
+        inner = lhs.shape[2]
+        chunk = max_safe_chunk(int(np.asarray(moduli).max()))
+        if chunk >= inner:
+            out = torch.matmul(lhs_t, rhs_t) % column
+        else:
+            out = torch.zeros((lhs.shape[0], lhs.shape[1], rhs.shape[2]),
+                              dtype=torch.int64, device=self.device)
+            for start in range(0, inner, chunk):
+                stop = min(start + chunk, inner)
+                partial = torch.matmul(lhs_t[:, :, start:stop],
+                                       rhs_t[:, start:stop, :]) % column
+                out = (out + partial) % column
+        return self.from_device(out)
+
+    def matmul(self, lhs: np.ndarray, rhs: np.ndarray, modulus: int) -> np.ndarray:
+        lhs = np.asarray(lhs, dtype=np.int64)
+        rhs = np.asarray(rhs, dtype=np.int64)
+        inner = lhs.shape[-1]
+        chunk = max_safe_chunk(modulus)
+        lhs_t = self.to_device(lhs)
+        rhs_t = self.to_device(rhs)
+        if chunk >= inner:
+            return self.from_device(torch.matmul(lhs_t, rhs_t) % modulus)
+        out = torch.zeros(lhs.shape[:-1] + rhs.shape[1:],
+                          dtype=torch.int64, device=self.device)
+        for start in range(0, inner, chunk):
+            stop = min(start + chunk, inner)
+            partial = torch.matmul(lhs_t[..., start:stop],
+                                   rhs_t[start:stop]) % modulus
+            out = (out + partial) % modulus
+        return self.from_device(out)

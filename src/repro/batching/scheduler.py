@@ -56,7 +56,7 @@ class BatchScheduler:
         return max(1, int(self.gpu.max_resident_threads * 4 // threads_per_op))
 
     def plan(self, ring_degree: int, limb_count: int, *, components: int = 2,
-             requested: int = None) -> BatchPlan:
+             requested: Optional[int] = None) -> BatchPlan:
         """Pick a batch size for the given parameters.
 
         ``requested`` (e.g. the paper's Table V batch sizes) caps the

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 import numpy as np
 
@@ -46,7 +46,7 @@ class BootstrapConfig:
 
     taylor_degree: int = 7
     double_angle_iterations: int = 2
-    target_level: int = None
+    target_level: Optional[int] = None
 
     @property
     def eval_mod_depth(self) -> int:

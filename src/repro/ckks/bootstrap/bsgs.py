@@ -15,7 +15,7 @@ paper cites for the homomorphic DFT [14, 59].
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class BsgsLinearTransform:
     """Homomorphic evaluation of ``ct -> Enc(M @ v)`` with BSGS rotations."""
 
     def __init__(self, context: CkksContext, matrix: np.ndarray, *,
-                 scale: float = None) -> None:
+                 scale: Optional[float] = None) -> None:
         self.context = context
         self.matrix = np.asarray(matrix, dtype=np.complex128)
         if self.matrix.shape[0] != context.slot_count:

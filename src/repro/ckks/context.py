@@ -12,6 +12,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend.registry import resolve_backend
 from ..kernels.base import KernelContext
 from ..numtheory.modular import mod_inverse
 from ..ntt.planner import NttPlanner
@@ -25,7 +26,8 @@ __all__ = ["CkksContext"]
 class CkksContext:
     """Everything derived from a :class:`CkksParameters` instance."""
 
-    def __init__(self, parameters: CkksParameters, *, seed: Optional[int] = None) -> None:
+    def __init__(self, parameters: CkksParameters, *, seed: Optional[int] = None,
+                 backend=None) -> None:
         self.parameters = parameters
         # The generalized key-switching technique requires P >= max_j Q_j
         # (Section II-B of the paper), i.e. at least as many special primes
@@ -38,7 +40,12 @@ class CkksContext:
             special_count=special_count,
             special_bits=parameters.special_prime_bits,
         )
-        self.planner = NttPlanner(parameters.ntt_engine)
+        # ``backend`` pins the compute substrate for this instance's NTT
+        # engines (name / ArrayBackend instance / None for the process-wide
+        # active backend selected by REPRO_BACKEND).  The pin covers the
+        # engine GEMM launches; element-wise mat-mod kernels and the Conv
+        # GEMM always follow the process-wide active backend.
+        self.planner = NttPlanner(parameters.ntt_engine, backend=backend)
         self.kernels = KernelContext(self.planner)
         self.encoder = CkksEncoder(parameters)
         self.rng = np.random.default_rng(seed)
@@ -48,9 +55,10 @@ class CkksContext:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_preset(cls, name: str, *, seed: Optional[int] = None) -> "CkksContext":
+    def from_preset(cls, name: str, *, seed: Optional[int] = None,
+                    backend=None) -> "CkksContext":
         """Build a context from a named preset (see :mod:`repro.ckks.params`)."""
-        return cls(get_preset(name), seed=seed)
+        return cls(get_preset(name), seed=seed, backend=backend)
 
     # ------------------------------------------------------------------
     @property
@@ -111,4 +119,5 @@ class CkksContext:
         info["ciphertext_primes"] = len(self.basis.ciphertext_primes)
         info["special_primes"] = len(self.basis.special_primes)
         info["log_q"] = round(sum(float(np.log2(q)) for q in self.basis.ciphertext_primes), 1)
+        info["compute_backend"] = resolve_backend(self.planner.backend).name
         return info

@@ -10,7 +10,7 @@ length-``2N`` FFT, so encoding is ``O(N log N)``.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -37,7 +37,7 @@ class CkksEncoder:
         self.conjugate_exponents = (modulus - exponents) % modulus
 
     # ------------------------------------------------------------------
-    def encode(self, values: Sequence[complex], scale: float = None) -> np.ndarray:
+    def encode(self, values: Sequence[complex], scale: Optional[float] = None) -> np.ndarray:
         """Encode a slot vector into scaled integer coefficients.
 
         Shorter inputs are zero-padded; longer inputs are rejected.  The
@@ -61,7 +61,7 @@ class CkksEncoder:
         coefficients = np.fft.fft(spectrum)[: self.ring_degree] / self.ring_degree
         return np.round(coefficients.real).astype(object)
 
-    def decode(self, coefficients: Sequence[int], scale: float = None) -> np.ndarray:
+    def decode(self, coefficients: Sequence[int], scale: Optional[float] = None) -> np.ndarray:
         """Decode integer coefficients back into a complex slot vector."""
         scale = self.parameters.scale if scale is None else float(scale)
         coefficients = np.asarray([float(c) for c in coefficients], dtype=np.float64)
@@ -76,15 +76,15 @@ class CkksEncoder:
         return evaluations[self.root_exponents] / scale
 
     # ------------------------------------------------------------------
-    def encode_real(self, values: Sequence[float], scale: float = None) -> np.ndarray:
+    def encode_real(self, values: Sequence[float], scale: Optional[float] = None) -> np.ndarray:
         """Encode a real-valued vector (convenience wrapper)."""
         return self.encode(np.asarray(values, dtype=np.float64), scale)
 
-    def decode_real(self, coefficients: Sequence[int], scale: float = None) -> np.ndarray:
+    def decode_real(self, coefficients: Sequence[int], scale: Optional[float] = None) -> np.ndarray:
         """Decode and return only the real parts of the slots."""
         return self.decode(coefficients, scale).real
 
-    def max_encodable_magnitude(self, level_modulus: int, scale: float = None) -> float:
+    def max_encodable_magnitude(self, level_modulus: int, scale: Optional[float] = None) -> float:
         """Largest slot magnitude that keeps coefficients below ``q/2``.
 
         A rough bound used by input validation in the examples: the

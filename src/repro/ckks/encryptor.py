@@ -8,7 +8,7 @@ produces slightly less noise and is handy in tests.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..rns.poly import PolyDomain, RnsPolynomial
 from .ciphertext import Ciphertext, Plaintext
@@ -30,8 +30,8 @@ class Encryptor:
         self.secret_key = secret_key
 
     # ------------------------------------------------------------------
-    def encode(self, values: Sequence[complex], *, scale: float = None,
-               level: int = None) -> Plaintext:
+    def encode(self, values: Sequence[complex], *, scale: Optional[float] = None,
+               level: Optional[int] = None) -> Plaintext:
         """Encode a slot vector into a :class:`Plaintext` at ``level``."""
         context = self.context
         level = context.max_level if level is None else level
@@ -43,7 +43,7 @@ class Encryptor:
         return Plaintext(polynomial=polynomial, scale=scale, level=level)
 
     # ------------------------------------------------------------------
-    def encrypt(self, values: Sequence[complex], *, scale: float = None) -> Ciphertext:
+    def encrypt(self, values: Sequence[complex], *, scale: Optional[float] = None) -> Ciphertext:
         """Encode and encrypt a slot vector (public key if available)."""
         plaintext = self.encode(values, scale=scale)
         return self.encrypt_plaintext(plaintext)
@@ -54,7 +54,7 @@ class Encryptor:
             return self._encrypt_public(plaintext)
         return self._encrypt_symmetric(plaintext)
 
-    def encrypt_symmetric(self, values: Sequence[complex], *, scale: float = None) -> Ciphertext:
+    def encrypt_symmetric(self, values: Sequence[complex], *, scale: Optional[float] = None) -> Ciphertext:
         """Encode and encrypt under the secret key."""
         if self.secret_key is None:
             raise ValueError("no secret key available for symmetric encryption")

@@ -10,7 +10,7 @@ enough thread blocks to keep the occupancy above 85% (Table IX).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from .spec import GpuSpec
 
@@ -41,7 +41,7 @@ class OccupancyModel:
     # ------------------------------------------------------------------
     def occupancy_for_threads(self, total_threads: int, *,
                               threads_per_sm: int = 512,
-                              work_elements: int = None) -> OccupancyResult:
+                              work_elements: Optional[int] = None) -> OccupancyResult:
         """Occupancy and normalised time for an *unbatched* operation.
 
         ``total_threads`` is the launch size (the paper sweeps 8K/16K/32K);

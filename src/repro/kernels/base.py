@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 __all__ = ["KernelName", "KernelCounter", "KernelContext"]
 
@@ -64,7 +64,7 @@ class KernelCounter:
 class KernelContext:
     """Shared state for the kernel layer: the NTT planner and the counters."""
 
-    def __init__(self, planner, counter: KernelCounter = None) -> None:
+    def __init__(self, planner, counter: Optional[KernelCounter] = None) -> None:
         self.planner = planner
         self.counter = counter if counter is not None else KernelCounter()
 

@@ -21,6 +21,7 @@ from .tensorcore import TensorCoreNtt
 from .twiddle import (
     TwiddleCache,
     TwiddleStack,
+    clear_twiddle_stacks,
     get_twiddle_cache,
     get_twiddle_stack,
     split_degree,
@@ -37,6 +38,7 @@ __all__ = [
     "TwiddleStack",
     "get_twiddle_cache",
     "get_twiddle_stack",
+    "clear_twiddle_stacks",
     "split_degree",
     "negacyclic_multiply",
     "pointwise_multiply",

@@ -39,14 +39,23 @@ class NttEngine(abc.ABC):
 
     All engines accept and return coefficient vectors in natural order with
     entries reduced to ``[0, q)``.
+
+    Engines are backend-agnostic: the GEMM launches they issue go through
+    the :mod:`repro.ntt.gemm_utils` funnel, which dispatches to the compute
+    backend pinned at construction (``backend=``) or, when none is pinned,
+    to the process-wide active backend (``REPRO_BACKEND`` / numpy).
     """
 
     #: Short identifier used by the planner and the benchmarks.
     name = "abstract"
 
-    def __init__(self, ring_degree: int, modulus: int) -> None:
+    def __init__(self, ring_degree: int, modulus: int, *,
+                 backend=None) -> None:
         self.ring_degree = ring_degree
         self.modulus = modulus
+        #: Pinned backend spec (None / name / instance) forwarded to every
+        #: GEMM funnel call; None tracks the process-wide active backend.
+        self.backend = backend
         # Sibling engines (same class, same N, other primes) backing the
         # generic per-limb fallback of forward_limbs/inverse_limbs.
         self._limb_engines: Dict[int, "NttEngine"] = {}
@@ -108,7 +117,7 @@ class NttEngine(abc.ABC):
             return self
         engine = self._limb_engines.get(modulus)
         if engine is None:
-            engine = type(self)(self.ring_degree, modulus)
+            engine = type(self)(self.ring_degree, modulus, backend=self.backend)
             self._limb_engines[modulus] = engine
         return engine
 

@@ -27,8 +27,9 @@ class ButterflyNtt(NttEngine):
     name = "butterfly"
 
     def __init__(self, ring_degree: int, modulus: int,
-                 twiddles: Optional[TwiddleCache] = None) -> None:
-        super().__init__(ring_degree, modulus)
+                 twiddles: Optional[TwiddleCache] = None, *,
+                 backend=None) -> None:
+        super().__init__(ring_degree, modulus, backend=backend)
         self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
         self._psi_brv = self.twiddles.psi_powers_bitrev()
         self._psi_inv_brv = self.twiddles.psi_inv_powers_bitrev()

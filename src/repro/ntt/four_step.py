@@ -36,8 +36,9 @@ class FourStepNtt(NttEngine):
     name = "four_step"
 
     def __init__(self, ring_degree: int, modulus: int,
-                 twiddles: Optional[TwiddleCache] = None) -> None:
-        super().__init__(ring_degree, modulus)
+                 twiddles: Optional[TwiddleCache] = None, *,
+                 backend=None) -> None:
+        super().__init__(ring_degree, modulus, backend=backend)
         self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
         self.n1, self.n2 = self.twiddles.four_step_shapes()
 
@@ -101,21 +102,22 @@ class FourStepNtt(NttEngine):
 
     # -- hooks the tensor-core engine overrides -------------------------
     def _gemm(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        """Modular GEMM on the "CUDA cores" (plain int64 matmul)."""
-        return modular_matmul(lhs, rhs, self.modulus)
+        """Modular GEMM on the "CUDA cores" (active backend)."""
+        return modular_matmul(lhs, rhs, self.modulus, backend=self.backend)
 
     def _hadamard(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         """Modular Hadamard product on the CUDA cores."""
-        return modular_hadamard(lhs, rhs, self.modulus)
+        return modular_hadamard(lhs, rhs, self.modulus, backend=self.backend)
 
     def _gemm_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
                     moduli: np.ndarray, *, lhs_cache=None,
                     rhs_cache=None) -> np.ndarray:
-        """Limb-batched modular GEMM (one 3-D matmul on the CUDA cores)."""
+        """Limb-batched modular GEMM (one 3-D launch on the active backend)."""
         return modular_matmul_limbs(lhs, rhs, moduli,
-                                    lhs_cache=lhs_cache, rhs_cache=rhs_cache)
+                                    lhs_cache=lhs_cache, rhs_cache=rhs_cache,
+                                    backend=self.backend)
 
     def _hadamard_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
                         moduli: np.ndarray) -> np.ndarray:
         """Limb-batched modular Hadamard product."""
-        return modular_hadamard_limbs(lhs, rhs, moduli)
+        return modular_hadamard_limbs(lhs, rhs, moduli, backend=self.backend)

@@ -1,12 +1,17 @@
-"""Overflow-safe modular matrix products for the GEMM-based NTT engines.
+"""The modular-GEMM funnel: validation, exactness guards, backend dispatch.
 
-NumPy's int64 matmul silently wraps on overflow, so the GEMM engines split
-the inner (reduction) dimension into chunks small enough that
-``chunk * (q-1)**2`` stays below 2**62 and reduce modulo ``q`` between
-chunks.  This matches the paper's observation that avoiding per-element
-modulo reductions and instead reducing an accumulator occasionally is what
-makes the matrix formulation fast; here it additionally keeps the Python
-implementation exact for arbitrary 30-bit moduli.
+Every GEMM-shaped launch of the library — the batched NTT engines, the fast
+basis conversion, the per-modulus matrix products — passes through the
+helpers in this module.  They own the *semantic* layer: shape validation
+and the object-dtype fallbacks for moduli at or above 2**31 (where a single
+product of two residues no longer fits int64).  The arithmetic itself is
+delegated to the active :class:`~repro.backend.base.ArrayBackend`, which is
+how the same engines run on chunked int64 numpy, exact float64 BLAS, a
+multiprocess pool or an accelerator library — selected per call
+(``backend=``), per planner, or process-wide (``REPRO_BACKEND``).
+
+``FloatOperandCache`` and ``max_safe_chunk`` are re-exported from their new
+homes under :mod:`repro.backend` for backward compatibility.
 """
 
 from __future__ import annotations
@@ -15,7 +20,9 @@ from typing import Optional
 
 import numpy as np
 
-from ..numtheory.modular import mat_mod_mul
+from ..backend.blas_backend import FloatOperandCache
+from ..backend.numpy_backend import max_safe_chunk
+from ..backend.registry import resolve_backend
 
 __all__ = [
     "modular_matmul",
@@ -27,151 +34,44 @@ __all__ = [
     "modular_matmul_rows",
 ]
 
-_SAFE_ACCUMULATOR_BITS = 62
-#: Largest integer magnitude float64 represents exactly (2**53); products and
-#: partial sums below this bound make a BLAS dgemm bit-exact.
-_FLOAT_EXACT_LIMIT = 1 << 53
+#: Above this bound a single residue product can overflow int64 and the
+#: funnels take the exact object-dtype path instead of dispatching.
+_INT64_SAFE_MODULUS = 1 << 31
 
 
-def max_safe_chunk(modulus: int) -> int:
-    """Largest inner-dimension chunk whose accumulation cannot overflow int64."""
-    limit = 1 << _SAFE_ACCUMULATOR_BITS
-    per_term = (modulus - 1) * (modulus - 1)
-    if per_term == 0:
-        return limit
-    return max(1, limit // per_term)
-
-
-def modular_matmul(lhs: np.ndarray, rhs: np.ndarray, modulus: int) -> np.ndarray:
-    """Return ``(lhs @ rhs) mod modulus`` exactly, using chunked accumulation."""
+def modular_matmul(lhs: np.ndarray, rhs: np.ndarray, modulus: int, *,
+                   backend=None) -> np.ndarray:
+    """Return ``(lhs @ rhs) mod modulus`` exactly on the active backend."""
     lhs = np.asarray(lhs, dtype=np.int64)
     rhs = np.asarray(rhs, dtype=np.int64)
     if lhs.shape[-1] != rhs.shape[0]:
         raise ValueError(
             "inner dimensions do not match: %s @ %s" % (lhs.shape, rhs.shape)
         )
-    inner = lhs.shape[-1]
-    chunk = max_safe_chunk(modulus)
-    if chunk >= inner:
-        return (lhs @ rhs) % modulus
-    result = np.zeros(lhs.shape[:-1] + rhs.shape[1:], dtype=np.int64)
-    for start in range(0, inner, chunk):
-        stop = min(start + chunk, inner)
-        partial = (lhs[..., start:stop] @ rhs[start:stop]) % modulus
-        result = (result + partial) % modulus
-    return result
+    return resolve_backend(backend).matmul(lhs, rhs, modulus)
 
 
-def modular_hadamard(lhs: np.ndarray, rhs: np.ndarray, modulus: int) -> np.ndarray:
+def modular_hadamard(lhs: np.ndarray, rhs: np.ndarray, modulus: int, *,
+                     backend=None) -> np.ndarray:
     """Element-wise ``(lhs * rhs) mod modulus`` on int64 arrays."""
     lhs = np.asarray(lhs, dtype=np.int64)
     rhs = np.asarray(rhs, dtype=np.int64)
-    if modulus >= (1 << 31):
+    if modulus >= _INT64_SAFE_MODULUS:
         product = lhs.astype(object) * rhs.astype(object)
         return np.asarray(product % modulus, dtype=np.int64)
-    return (lhs * rhs) % modulus
-
-
-# ----------------------------------------------------------------------
-# Limb-batched variants: one launch for a whole RNS polynomial.
-#
-# The batched NTT paths stack the per-modulus GEMM operands along a leading
-# limb axis and issue a single ``np.matmul`` over the 3-D stacks, reducing
-# row ``i`` modulo ``moduli[i]``.  The chunking argument is the same as for
-# :func:`modular_matmul`, using the largest modulus of the stack.
-# ----------------------------------------------------------------------
-
-def _limb_broadcast(moduli, ndim: int) -> np.ndarray:
-    """Reshape a ``(limbs,)`` moduli vector to broadcast over ``ndim`` axes."""
-    moduli = np.asarray(moduli, dtype=np.int64)
-    return moduli.reshape((moduli.shape[0],) + (1,) * (ndim - 1))
-
-
-class FloatOperandCache:
-    """Lazily cached float64 forms of a reusable int64 GEMM operand.
-
-    The limb-batched GEMMs run on BLAS float64 whenever the 2**53 mantissa
-    bound keeps them exact — the software analogue of the paper lowering
-    GEMMs to low-precision tensor-core arithmetic.  Twiddle stacks are
-    reused across every NTT of an instance, so their float64 image (and,
-    for larger moduli, a high/low split that restores exactness) is built
-    once and cached here.
-    """
-
-    def __init__(self, matrix: np.ndarray) -> None:
-        self.matrix = np.asarray(matrix, dtype=np.int64)
-        self.max_value = int(self.matrix.max(initial=0))
-        self._full = None
-        self._split = None
-
-    def full(self) -> np.ndarray:
-        """The operand converted to float64 (exact: entries < 2**31 < 2**53)."""
-        if self._full is None:
-            self._full = self.matrix.astype(np.float64)
-        return self._full
-
-    def split(self):
-        """``(shift, hi, lo)`` with ``matrix == hi * 2**shift + lo``.
-
-        Splitting roughly halves the bit-width of each part, so each of
-        the two partial GEMMs fits the float64 exactness bound for moduli
-        too large for a single pass.
-        """
-        if self._split is None:
-            shift = max(1, (self.max_value.bit_length() + 1) // 2)
-            hi = (self.matrix >> shift).astype(np.float64)
-            lo = (self.matrix & ((1 << shift) - 1)).astype(np.float64)
-            self._split = (shift, hi, lo)
-        return self._split
-
-
-def _float_matmul_limbs(lhs, rhs, column, inner, lhs_cache, rhs_cache):
-    """Exact float64 fast path for the batched GEMM, or None if unsafe.
-
-    One operand side carries a :class:`FloatOperandCache` (the reusable
-    twiddle stack); the other is converted per call.  Falls back to None
-    when even the split operand would break the 2**53 exactness bound.
-    """
-    cache = lhs_cache if lhs_cache is not None else rhs_cache
-    other = rhs if lhs_cache is not None else lhs
-    other_bound = int(column.max()) - 1
-
-    def combine(product):
-        return np.rint(product).astype(np.int64) % column
-
-    if inner * cache.max_value * other_bound < _FLOAT_EXACT_LIMIT:
-        other_f = other.astype(np.float64)
-        if lhs_cache is not None:
-            return combine(np.matmul(cache.full(), other_f))
-        return combine(np.matmul(other_f, cache.full()))
-
-    shift, hi, lo = cache.split()
-    hi_max = max(1, cache.max_value >> shift)
-    lo_max = (1 << shift) - 1
-    if inner * max(hi_max, lo_max) * other_bound >= _FLOAT_EXACT_LIMIT:
-        return None
-    other_f = other.astype(np.float64)
-    if lhs_cache is not None:
-        high = combine(np.matmul(hi, other_f))
-        low = combine(np.matmul(lo, other_f))
-    else:
-        high = combine(np.matmul(other_f, hi))
-        low = combine(np.matmul(other_f, lo))
-    weight = (1 << shift) % column
-    return (low + (high * weight) % column) % column
+    return resolve_backend(backend).hadamard(lhs, rhs, modulus)
 
 
 def modular_matmul_limbs(lhs: np.ndarray, rhs: np.ndarray, moduli, *,
                          lhs_cache: Optional[FloatOperandCache] = None,
-                         rhs_cache: Optional[FloatOperandCache] = None) -> np.ndarray:
+                         rhs_cache: Optional[FloatOperandCache] = None,
+                         backend=None) -> np.ndarray:
     """Batched modular GEMM: ``out[i] = (lhs[i] @ rhs[i]) mod moduli[i]``.
 
     ``lhs`` has shape ``(limbs, M, K)`` and ``rhs`` ``(limbs, K, P)``; both
     must already be reduced modulo their row's prime.  The whole stack is
-    one ``np.matmul`` launch.  When one side passes its cached float64
-    image (``lhs_cache``/``rhs_cache``) and the 2**53 bound holds, the
-    launch runs on BLAS float64 bit-exactly; otherwise it runs on int64,
-    chunked along ``K`` whenever the accumulator could overflow.
+    one backend launch; ``lhs_cache``/``rhs_cache`` pass a reusable
+    operand's cached float64 image to backends that exploit it (blas).
     """
     lhs = np.asarray(lhs, dtype=np.int64)
     rhs = np.asarray(rhs, dtype=np.int64)
@@ -183,51 +83,41 @@ def modular_matmul_limbs(lhs: np.ndarray, rhs: np.ndarray, moduli, *,
         raise ValueError(
             "limb stacks do not align: %s @ %s" % (lhs.shape, rhs.shape)
         )
-    column = _limb_broadcast(moduli, 3)
-    inner = lhs.shape[2]
-    if int(column.max()) >= (1 << 31):
+    moduli = np.asarray(moduli, dtype=np.int64)
+    if int(moduli.max()) >= _INT64_SAFE_MODULUS:
         # A single product of two reduced residues can overflow int64;
         # take the exact (slow) object-dtype path, as mat_mod_mul does.
+        column = moduli.reshape(-1, 1, 1)
         product = np.matmul(lhs.astype(object), rhs.astype(object))
         return np.asarray(product % column, dtype=np.int64)
-    if lhs_cache is not None or rhs_cache is not None:
-        result = _float_matmul_limbs(lhs, rhs, column, inner,
-                                     lhs_cache, rhs_cache)
-        if result is not None:
-            return result
-    chunk = max_safe_chunk(int(column.max()))
-    if chunk >= inner:
-        return np.matmul(lhs, rhs) % column
-    result = np.zeros((lhs.shape[0], lhs.shape[1], rhs.shape[2]), dtype=np.int64)
-    for start in range(0, inner, chunk):
-        stop = min(start + chunk, inner)
-        partial = np.matmul(lhs[:, :, start:stop], rhs[:, start:stop, :]) % column
-        result = (result + partial) % column
-    return result
+    return resolve_backend(backend).matmul_limbs(
+        lhs, rhs, moduli, lhs_cache=lhs_cache, rhs_cache=rhs_cache)
 
 
-def modular_hadamard_limbs(lhs: np.ndarray, rhs: np.ndarray, moduli) -> np.ndarray:
+def modular_hadamard_limbs(lhs: np.ndarray, rhs: np.ndarray, moduli, *,
+                           backend=None) -> np.ndarray:
     """Element-wise ``(lhs * rhs) mod moduli`` with per-limb moduli.
 
     The leading axis of both operands is the limb axis; ``moduli[i]``
-    reduces slice ``i``.  Thin shim over
-    :func:`repro.numtheory.modular.mat_mod_mul` that flattens any trailing
-    axes so a single implementation owns the reduction logic.
+    reduces slice ``i``.
     """
     lhs = np.asarray(lhs, dtype=np.int64)
     rhs = np.asarray(rhs, dtype=np.int64)
-    limbs = lhs.shape[0]
-    flat = mat_mod_mul(lhs.reshape(limbs, -1), rhs.reshape(limbs, -1),
-                       np.asarray(moduli, dtype=np.int64))
-    return flat.reshape(lhs.shape)
+    moduli = np.asarray(moduli, dtype=np.int64)
+    if int(moduli.max()) >= _INT64_SAFE_MODULUS:
+        column = moduli.reshape((moduli.shape[0],) + (1,) * (lhs.ndim - 1))
+        product = lhs.astype(object) * rhs.astype(object)
+        return np.asarray(product % column, dtype=np.int64)
+    return resolve_backend(backend).hadamard_limbs(lhs, rhs, moduli)
 
 
-def modular_matmul_rows(lhs: np.ndarray, rhs: np.ndarray, row_moduli) -> np.ndarray:
+def modular_matmul_rows(lhs: np.ndarray, rhs: np.ndarray, row_moduli, *,
+                        backend=None) -> np.ndarray:
     """Row-moduli GEMM: ``out[j] = (lhs[j] @ rhs) mod row_moduli[j]``.
 
     Used by the fast basis conversion, where every *output* row has its own
     prime.  Operand entries may live in different residue domains, so the
-    chunk bound is derived from the actual operand maxima instead of the
+    overflow bound comes from the actual operand maxima instead of the
     moduli.
     """
     lhs = np.asarray(lhs, dtype=np.int64)
@@ -236,19 +126,12 @@ def modular_matmul_rows(lhs: np.ndarray, rhs: np.ndarray, row_moduli) -> np.ndar
         raise ValueError(
             "inner dimensions do not match: %s @ %s" % (lhs.shape, rhs.shape)
         )
-    column = np.asarray(row_moduli, dtype=np.int64)[:, None]
-    inner = lhs.shape[-1]
+    row_moduli = np.asarray(row_moduli, dtype=np.int64)
     per_term = int(lhs.max(initial=0)) * int(rhs.max(initial=0))
     if per_term >= (1 << 63):
         # Even a chunk of one row would overflow int64: exact object path.
+        column = row_moduli.reshape(-1, 1)
         product = lhs.astype(object) @ rhs.astype(object)
         return np.asarray(product % column, dtype=np.int64)
-    chunk = inner if per_term == 0 else max(1, (1 << _SAFE_ACCUMULATOR_BITS) // per_term)
-    if chunk >= inner:
-        return (lhs @ rhs) % column
-    result = np.zeros((lhs.shape[0], rhs.shape[1]), dtype=np.int64)
-    for start in range(0, inner, chunk):
-        stop = min(start + chunk, inner)
-        partial = (lhs[:, start:stop] @ rhs[start:stop]) % column
-        result = (result + partial) % column
-    return result
+    return resolve_backend(backend).matmul_rows(lhs, rhs, row_moduli,
+                                                operand_bound=per_term)

@@ -26,19 +26,22 @@ class MatrixNtt(NttEngine):
     name = "matrix"
 
     def __init__(self, ring_degree: int, modulus: int,
-                 twiddles: Optional[TwiddleCache] = None) -> None:
-        super().__init__(ring_degree, modulus)
+                 twiddles: Optional[TwiddleCache] = None, *,
+                 backend=None) -> None:
+        super().__init__(ring_degree, modulus, backend=backend)
         self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
 
     def forward(self, coefficients: np.ndarray) -> np.ndarray:
         coefficients = self._validate(coefficients)
         weight = self.twiddles.forward_matrix()
-        return modular_matmul(weight, coefficients[:, None], self.modulus)[:, 0]
+        return modular_matmul(weight, coefficients[:, None], self.modulus,
+                              backend=self.backend)[:, 0]
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
         values = self._validate(values)
         weight = self.twiddles.inverse_matrix()
-        raw = modular_matmul(weight, values[:, None], self.modulus)[:, 0]
+        raw = modular_matmul(weight, values[:, None], self.modulus,
+                             backend=self.backend)[:, 0]
         return (raw * self.twiddles.degree_inverse) % self.modulus
 
     def forward_batch(self, coefficient_rows: np.ndarray) -> np.ndarray:
@@ -52,14 +55,16 @@ class MatrixNtt(NttEngine):
         if rows.ndim == 1:
             return self.forward(rows)
         weight = self.twiddles.forward_matrix()
-        return modular_matmul(weight, rows.T % self.modulus, self.modulus).T
+        return modular_matmul(weight, rows.T % self.modulus, self.modulus,
+                              backend=self.backend).T
 
     def inverse_batch(self, value_rows: np.ndarray) -> np.ndarray:
         rows = np.asarray(value_rows, dtype=np.int64)
         if rows.ndim == 1:
             return self.inverse(rows)
         weight = self.twiddles.inverse_matrix()
-        raw = modular_matmul(weight, rows.T % self.modulus, self.modulus).T
+        raw = modular_matmul(weight, rows.T % self.modulus, self.modulus,
+                             backend=self.backend).T
         return (raw * self.twiddles.degree_inverse) % self.modulus
 
     # -- limb-batched path (one 3-D GEMM per whole RNS polynomial) ------
@@ -71,7 +76,8 @@ class MatrixNtt(NttEngine):
         weights = stack.forward_matrices()
         return modular_matmul_limbs(
             weights, residues[:, :, None], moduli_array,
-            lhs_cache=stack.forward_matrices_cache())[:, :, 0]
+            lhs_cache=stack.forward_matrices_cache(),
+            backend=self.backend)[:, :, 0]
 
     def inverse_limbs(self, values: np.ndarray,
                       moduli: Sequence[int]) -> np.ndarray:
@@ -81,5 +87,6 @@ class MatrixNtt(NttEngine):
         weights = stack.inverse_matrices()
         raw = modular_matmul_limbs(
             weights, values[:, :, None], moduli_array,
-            lhs_cache=stack.inverse_matrices_cache())[:, :, 0]
+            lhs_cache=stack.inverse_matrices_cache(),
+            backend=self.backend)[:, :, 0]
         return (raw * stack.degree_inverse_column) % moduli_array[:, None]

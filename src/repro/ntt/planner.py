@@ -19,6 +19,7 @@ from typing import Dict, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
+from ..backend.registry import get_backend
 from .base import NttEngine
 from .butterfly import ButterflyNtt
 from .four_step import FourStepNtt
@@ -59,12 +60,23 @@ def create_engine(name: str, ring_degree: int, modulus: int, **kwargs) -> NttEng
 
 
 class NttPlanner:
-    """Caches NTT engines per ``(engine_name, N, q)`` triple."""
+    """Caches NTT engines per ``(engine_name, N, q)`` triple.
 
-    def __init__(self, engine_name: str = DEFAULT_ENGINE) -> None:
+    ``backend`` pins the compute substrate every cached engine launches
+    its GEMMs on: a registered backend name, an
+    :class:`~repro.backend.base.ArrayBackend` instance, or ``None`` to
+    follow the process-wide active backend (``REPRO_BACKEND`` / numpy).
+    """
+
+    def __init__(self, engine_name: str = DEFAULT_ENGINE, *,
+                 backend=None) -> None:
         if engine_name not in ENGINE_REGISTRY:
             raise ValueError("unknown NTT engine %r" % engine_name)
         self.engine_name = engine_name
+        if isinstance(backend, str):
+            # Fail fast on typos instead of at the first transform.
+            backend = get_backend(backend)
+        self.backend = backend
         self._engines: Dict[Tuple[str, int, int], NttEngine] = {}
 
     def engine_for(self, ring_degree: int, modulus: int, *,
@@ -74,7 +86,8 @@ class NttPlanner:
         key = (engine_name, ring_degree, modulus)
         engine = self._engines.get(key)
         if engine is None:
-            engine = create_engine(engine_name, ring_degree, modulus)
+            engine = create_engine(engine_name, ring_degree, modulus,
+                                   backend=self.backend)
             self._engines[key] = engine
         return engine
 

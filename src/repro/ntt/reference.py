@@ -55,8 +55,9 @@ class ReferenceNtt(NttEngine):
     name = "reference"
 
     def __init__(self, ring_degree: int, modulus: int,
-                 twiddles: Optional[TwiddleCache] = None) -> None:
-        super().__init__(ring_degree, modulus)
+                 twiddles: Optional[TwiddleCache] = None, *,
+                 backend=None) -> None:
+        super().__init__(ring_degree, modulus, backend=backend)
         self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
 
     def forward(self, coefficients: np.ndarray) -> np.ndarray:

@@ -43,8 +43,8 @@ class TensorCoreNtt(FourStepNtt):
 
     def __init__(self, ring_degree: int, modulus: int,
                  twiddles: Optional[TwiddleCache] = None, *,
-                 stream_count: int = 16) -> None:
-        super().__init__(ring_degree, modulus, twiddles)
+                 stream_count: int = 16, backend=None) -> None:
+        super().__init__(ring_degree, modulus, twiddles, backend=backend)
         self.tcu = TensorCoreGemm()
         self.stream_scheduler = StreamScheduler(stream_count)
         self.last_schedule = None
@@ -85,7 +85,7 @@ class TensorCoreNtt(FourStepNtt):
 
     def _hadamard(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
         """Hadamard products stay on the CUDA cores, as in the paper."""
-        return modular_hadamard(lhs, rhs, self.modulus)
+        return modular_hadamard(lhs, rhs, self.modulus, backend=self.backend)
 
     def _gemm_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
                     moduli: np.ndarray, *, lhs_cache=None,

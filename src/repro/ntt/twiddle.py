@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ __all__ = [
     "split_degree",
     "get_twiddle_cache",
     "get_twiddle_stack",
+    "clear_twiddle_stacks",
 ]
 
 
@@ -203,6 +204,30 @@ def get_twiddle_cache(ring_degree: int, modulus: int) -> TwiddleCache:
     return TwiddleCache(ring_degree, modulus)
 
 
+class _PrefixFloatCache(FloatOperandCache):
+    """Zero-copy prefix view of a parent stack's :class:`FloatOperandCache`.
+
+    ``full()``/``split()`` return row slices of the parent's cached float64
+    images, so a level-prefix stack adds no float storage of its own.  The
+    parent's ``max_value`` is kept as a conservative upper bound for the
+    prefix: the 2**53 exactness guards only ever compare against an upper
+    bound, so a larger bound can never make a float launch inexact.
+    """
+
+    def __init__(self, parent: FloatOperandCache, limbs: int) -> None:
+        self._parent = parent
+        self._limbs = limbs
+        self.matrix = parent.matrix[:limbs]
+        self.max_value = parent.max_value
+
+    def full(self) -> np.ndarray:
+        return self._parent.full()[:self._limbs]
+
+    def split(self):
+        shift, hi, lo = self._parent.split()
+        return shift, hi[:self._limbs], lo[:self._limbs]
+
+
 class TwiddleStack:
     """Per-modulus twiddle operands stacked along a leading limb axis.
 
@@ -212,13 +237,30 @@ class TwiddleStack:
     is one-time precomputation (like the twiddle tables themselves) and is
     cached per ``(N, moduli)`` via :func:`get_twiddle_stack`; the hot
     transform path only indexes the prebuilt arrays.
+
+    CKKS levels form prefix chains of one prime sequence, so a stack whose
+    moduli are a prefix of an already-built deeper chain is constructed
+    with that chain as ``parent``: every operand (and its float64 image) is
+    then a zero-copy row slice of the parent's arrays instead of a fresh
+    per-prefix copy — for a depth-L chain this cuts the resident stack
+    memory from O(L^2) matrices to O(L).
     """
 
-    def __init__(self, ring_degree: int, moduli: Tuple[int, ...]) -> None:
+    def __init__(self, ring_degree: int, moduli: Tuple[int, ...],
+                 parent: Optional["TwiddleStack"] = None) -> None:
         self.ring_degree = ring_degree
         self.moduli = tuple(int(q) for q in moduli)
         if not self.moduli:
             raise ValueError("a twiddle stack needs at least one modulus")
+        if parent is not None:
+            if parent.ring_degree != ring_degree:
+                raise ValueError("parent stack has a different ring degree")
+            if parent.moduli[:len(self.moduli)] != self.moduli:
+                raise ValueError(
+                    "moduli %s are not a prefix of the parent chain %s"
+                    % (self.moduli, parent.moduli)
+                )
+        self._parent = parent
         self.caches = tuple(get_twiddle_cache(ring_degree, q) for q in self.moduli)
         self.moduli_array = np.asarray(self.moduli, dtype=np.int64)
         self.degree_inverse_column = np.asarray(
@@ -277,22 +319,60 @@ class TwiddleStack:
     # ------------------------------------------------------------------
     def _stacked(self, key: str, extract) -> np.ndarray:
         if key not in self._stacks:
-            self._stacks[key] = np.stack([extract(cache) for cache in self.caches])
+            if self._parent is not None:
+                # Zero-copy: the prefix rows of the parent's stacked operand.
+                self._stacks[key] = self._parent._stacked(key, extract)[:self.limb_count]
+            else:
+                self._stacks[key] = np.stack([extract(cache) for cache in self.caches])
         return self._stacks[key]
 
     def _float(self, key: str, build=None) -> FloatOperandCache:
         if key not in self._float_caches:
             if build is not None:
                 build()
-            self._float_caches[key] = FloatOperandCache(self._stacks[key])
+            if self._parent is not None:
+                self._float_caches[key] = _PrefixFloatCache(
+                    self._parent._float(key), self.limb_count)
+            else:
+                self._float_caches[key] = FloatOperandCache(self._stacks[key])
         return self._float_caches[key]
 
 
-@lru_cache(maxsize=128)
-def get_twiddle_stack(ring_degree: int, moduli: Tuple[int, ...]) -> TwiddleStack:
+#: Built stacks per ``(N, moduli)``; consulted for prefix reuse.
+_STACK_CACHE: Dict[Tuple[int, Tuple[int, ...]], TwiddleStack] = {}
+#: Entry bound matching the old ``lru_cache(maxsize=128)``: long-lived
+#: processes sweeping many parameter sets must not accumulate root stacks
+#: forever.  Eviction is FIFO; prefix views stay valid because they hold
+#: numpy views of the root's arrays, not the root stack object.
+_STACK_CACHE_LIMIT = 128
+
+
+def get_twiddle_stack(ring_degree: int, moduli) -> TwiddleStack:
     """Process-wide shared :class:`TwiddleStack` for ``(N, moduli)``.
 
     CKKS levels form prefix chains of one prime sequence, so the number of
-    distinct stacks per instance is the number of levels actually visited.
+    distinct stacks per instance is the number of levels actually visited —
+    and whenever a deeper chain with the requested moduli as a prefix is
+    already cached (the common case: the full chain is built at encryption
+    level before any rescale), the new stack is a zero-copy view of it.
     """
-    return TwiddleStack(ring_degree, tuple(int(q) for q in moduli))
+    key = (ring_degree, tuple(int(q) for q in moduli))
+    stack = _STACK_CACHE.get(key)
+    if stack is None:
+        parent = None
+        for (cached_degree, chain), candidate in _STACK_CACHE.items():
+            if (cached_degree == ring_degree
+                    and len(chain) > len(key[1])
+                    and chain[:len(key[1])] == key[1]
+                    and (parent is None or candidate.limb_count > parent.limb_count)):
+                parent = candidate
+        stack = TwiddleStack(ring_degree, key[1], parent=parent)
+        while len(_STACK_CACHE) >= _STACK_CACHE_LIMIT:
+            _STACK_CACHE.pop(next(iter(_STACK_CACHE)))
+        _STACK_CACHE[key] = stack
+    return stack
+
+
+def clear_twiddle_stacks() -> None:
+    """Drop all cached twiddle stacks (frees the stacked operand memory)."""
+    _STACK_CACHE.clear()

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend.registry import resolve_backend
+
 __all__ = [
     "mod_add",
     "mod_sub",
@@ -234,8 +236,10 @@ def vec_mod_mul(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
 # The RNS layer stores a polynomial as a ``(limbs, N)`` residue matrix with
 # one prime per row.  Broadcasting the moduli as a ``(limbs, 1)`` column
 # turns every element-wise kernel (Ele-Add, Ele-Sub, Hada-Mult, ...) into a
-# single 2-D numpy operation — the operation-level batching the paper's
-# Figure 9/14 argue for, with the limb dimension fused into the launch.
+# single 2-D launch — the operation-level batching the paper's Figure 9/14
+# argue for, with the limb dimension fused into the launch.  The launches
+# themselves run on the active compute backend (see :mod:`repro.backend`);
+# these wrappers own input coercion and the oversized-moduli exact path.
 # ----------------------------------------------------------------------
 
 def moduli_column(moduli) -> np.ndarray:
@@ -249,34 +253,24 @@ def moduli_column(moduli) -> np.ndarray:
 def mat_mod_reduce(matrix: np.ndarray, moduli) -> np.ndarray:
     """Row-wise ``matrix[i] mod moduli[i]`` on a ``(limbs, N)`` matrix."""
     matrix = _as_int64(matrix)
-    return matrix % moduli_column(moduli)
+    return resolve_backend(None).mat_reduce(matrix, moduli_column(moduli))
 
 
 def mat_mod_add(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
     """Row-wise ``(a + b) mod moduli`` without overflow (reduced inputs)."""
-    a = _as_int64(a)
-    b = _as_int64(b)
-    column = moduli_column(moduli)
-    out = a + b
-    np.subtract(out, column, out=out, where=out >= column)
-    return out
+    return resolve_backend(None).mat_add(_as_int64(a), _as_int64(b),
+                                         moduli_column(moduli))
 
 
 def mat_mod_sub(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
     """Row-wise ``(a - b) mod moduli`` without overflow (reduced inputs)."""
-    a = _as_int64(a)
-    b = _as_int64(b)
-    column = moduli_column(moduli)
-    out = a - b
-    np.add(out, column, out=out, where=out < 0)
-    return out
+    return resolve_backend(None).mat_sub(_as_int64(a), _as_int64(b),
+                                         moduli_column(moduli))
 
 
 def mat_mod_neg(a: np.ndarray, moduli) -> np.ndarray:
     """Row-wise ``(-a) mod moduli``."""
-    a = _as_int64(a)
-    column = moduli_column(moduli)
-    return ((column - a) % column).astype(np.int64)
+    return resolve_backend(None).mat_neg(_as_int64(a), moduli_column(moduli))
 
 
 def mat_mod_mul(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
@@ -292,7 +286,7 @@ def mat_mod_mul(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
     if int(column.max()) >= (1 << 31):
         product = a.astype(object) * b.astype(object)
         return np.asarray(product % column, dtype=np.int64)
-    return (a * b) % column
+    return resolve_backend(None).mat_mul(a, b, column)
 
 
 def mat_mod_scalar_mul(a: np.ndarray, scalars, moduli) -> np.ndarray:

@@ -13,6 +13,8 @@ reused for every experiment, GPU and parameter set.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import dataclass
 
 from ..gpu.memory import MemoryTrafficModel
@@ -62,7 +64,7 @@ class GpuCostModel:
 
     # ------------------------------------------------------------------
     def kernel_time(self, workload: KernelWorkload, *, batch_size: int = 1,
-                    contiguous_bytes: float = None) -> float:
+                    contiguous_bytes: Optional[float] = None) -> float:
         """Seconds needed to execute ``workload`` on this GPU."""
         config = self.config
         batched = batch_size >= config.batching_threshold

@@ -32,7 +32,7 @@ def _format_cell(value) -> str:
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
-                 title: str = None) -> str:
+                 title: Optional[str] = None) -> str:
     """Render rows as a fixed-width text table."""
     rows = [list(map(_format_cell, row)) for row in rows]
     widths = [len(h) for h in headers]
@@ -50,7 +50,7 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
 
 
 def format_comparison(paper: Dict[str, float], measured: Dict[str, float],
-                      *, title: str = None, unit: str = "") -> str:
+                      *, title: Optional[str] = None, unit: str = "") -> str:
     """Two-column paper-vs-measured table with a ratio column."""
     headers = ["item", "paper%s" % (" (%s)" % unit if unit else ""),
                "model%s" % (" (%s)" % unit if unit else ""), "model/paper"]
@@ -62,7 +62,7 @@ def format_comparison(paper: Dict[str, float], measured: Dict[str, float],
     return format_table(headers, rows, title=title)
 
 
-def format_breakdown(breakdown: Dict[str, float], title: str = None) -> str:
+def format_breakdown(breakdown: Dict[str, float], title: Optional[str] = None) -> str:
     """Render a fraction breakdown (e.g. kernel shares) as percentages."""
     rows = [[name, 100.0 * share] for name, share in
             sorted(breakdown.items(), key=lambda item: -item[1])]

@@ -10,7 +10,7 @@ kernel-level and operation-level breakdowns of Figures 12 and 13.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..gpu.spec import A100, GpuSpec
 from ..workloads.base import OperationCounts, WorkloadSpec
@@ -98,7 +98,7 @@ class WorkloadModel:
                 total / max(1, workload.iterations)),
         )
 
-    def bootstrap_time(self, workload: WorkloadSpec, batch_size: int = None) -> float:
+    def bootstrap_time(self, workload: WorkloadSpec, batch_size: Optional[int] = None) -> float:
         """Seconds for one full bootstrap batch (Table VII configuration)."""
         model = self.operation_model_for(workload)
         total = 0.0

@@ -10,7 +10,7 @@ the dnum decomposition of the chain into groups.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..numtheory.crt import CrtContext
 from ..numtheory.primes import generate_ntt_primes
@@ -89,7 +89,7 @@ class RnsBasis:
         """CRT context over the level-``level`` ciphertext primes."""
         return CrtContext(self.primes_at_level(level))
 
-    def log_total_modulus(self, level: int = None) -> float:
+    def log_total_modulus(self, level: Optional[int] = None) -> float:
         """``log2(P * Q_level)`` — the paper's ``logPQ`` column of Table V."""
         import math
 

@@ -18,7 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..numtheory.modular import mod_inverse, moduli_column
+from ..numtheory.modular import mat_mod_mul, mod_inverse, moduli_column
 from ..ntt.gemm_utils import modular_matmul_rows
 from .poly import PolyDomain, RnsPolynomial
 
@@ -65,7 +65,7 @@ class BasisConverter:
             raise ValueError("residue matrix does not match the source basis")
         # y_i = [x_i * q_hat_inv_i]_{q_i}; operands stay below 2**31, so the
         # int64 product cannot overflow.
-        y = (residues * self._q_hat_inv_column) % self._source_column
+        y = mat_mod_mul(residues, self._q_hat_inv_column, self._source_column)
         return modular_matmul_rows(self.q_hat_mod_target, y,
                                    self._target_column[:, 0])
 

@@ -17,7 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..numtheory.modular import mod_inverse, moduli_column
+from ..numtheory.modular import mat_mod_mul, mat_mod_sub, mod_inverse, moduli_column
 from .conv import BasisConverter
 from .poly import PolyDomain, RnsPolynomial
 
@@ -60,7 +60,7 @@ class ModDown:
         folded = self._converter.convert_residues(
             polynomial.residues[ciphertext_count:])
         column = self._ciphertext_column
-        diff = (polynomial.residues[:ciphertext_count] - folded) % column
-        residues = (diff * self._p_inverse_column) % column
+        diff = mat_mod_sub(polynomial.residues[:ciphertext_count], folded, column)
+        residues = mat_mod_mul(diff, self._p_inverse_column, column)
         return RnsPolynomial(polynomial.ring_degree, self.ciphertext_moduli,
                              residues, PolyDomain.COEFFICIENT)

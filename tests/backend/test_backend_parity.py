@@ -1,0 +1,207 @@
+"""Parity and selection suite for the pluggable compute backends.
+
+Every registered backend must be *bit-identical* to the numpy default on
+the whole funnel — engine-level batched NTTs, RNS polynomial arithmetic,
+and full CKKS operations (NTT / rescale / keyswitch) — and switching the
+backend must not change what the kernel counters record.  The suite also
+pins the selection precedence: explicit ``backend=`` argument, process-wide
+override, ``REPRO_BACKEND`` environment variable, numpy default.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import TensorFheContext
+from repro.backend import (
+    DEFAULT_BACKEND,
+    MultiprocessBackend,
+    NumpyBackend,
+    available_backends,
+    get_active_backend,
+    get_backend,
+    registered_backends,
+    resolve_backend,
+    set_active_backend,
+    use_backend,
+)
+from repro.backend.registry import BACKEND_ENV_VAR
+from repro.ckks.params import get_preset
+from repro.ntt import NttPlanner, available_engines
+from repro.ntt.gemm_utils import modular_matmul_limbs
+from repro.numtheory import generate_ntt_primes
+from repro.rns import RnsPolynomial
+
+BACKENDS = list(available_backends())
+ENGINES = list(available_engines())
+
+
+def _residue_matrix(rng, primes, ring_degree):
+    return np.stack([rng.integers(0, q, ring_degree, dtype=np.int64) for q in primes])
+
+
+@pytest.fixture(autouse=True)
+def _restore_active_backend():
+    """Every test leaves the process-wide backend selection untouched."""
+    previous = set_active_backend(None)
+    yield
+    set_active_backend(previous)
+
+
+# ----------------------------------------------------------------------
+# Registry and selection
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_numpy_is_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert DEFAULT_BACKEND == "numpy"
+        assert isinstance(get_active_backend(), NumpyBackend)
+        assert not isinstance(get_active_backend(), MultiprocessBackend)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "blas")
+        assert get_active_backend().name == "blas"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "blas")
+        set_active_backend("multiprocess")
+        assert get_active_backend().name == "multiprocess"
+        set_active_backend(None)
+        assert get_active_backend().name == "blas"
+
+    def test_use_backend_restores(self):
+        before = get_active_backend().name
+        with use_backend("blas") as backend:
+            assert backend.name == "blas"
+            assert get_active_backend().name == "blas"
+        assert get_active_backend().name == before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown compute backend"):
+            get_backend("cuda9000")
+        with pytest.raises(ValueError):
+            NttPlanner("four_step", backend="cuda9000")
+
+    def test_optional_backends_register_but_gate_on_import(self):
+        # torch/cupy always appear in the registry; they are only *available*
+        # (and thus swept by this suite) when the library imports.
+        assert "torch" in registered_backends()
+        assert "cupy" in registered_backends()
+        for name in registered_backends():
+            if name not in BACKENDS:
+                with pytest.raises(ValueError, match="unavailable"):
+                    get_backend(name)
+
+    def test_resolve_precedence(self):
+        instance = NumpyBackend()
+        assert resolve_backend(instance) is instance
+        assert resolve_backend("blas").name == "blas"
+        assert resolve_backend(None) is get_active_backend()
+
+    def test_shared_instances(self):
+        assert get_backend("blas") is get_backend("blas")
+
+
+# ----------------------------------------------------------------------
+# Engine-level parity: every backend, every engine, bit-identical
+# ----------------------------------------------------------------------
+class TestEngineParity:
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_forward_inverse_limbs_match_numpy(self, backend_name, engine_name, rng):
+        ring_degree, limbs = 32, 3
+        primes = generate_ntt_primes(limbs, 24, ring_degree)
+        residues = _residue_matrix(rng, primes, ring_degree)
+        reference = NttPlanner(engine_name, backend="numpy")
+        candidate = NttPlanner(engine_name, backend=backend_name)
+        forward_ref = reference.forward_limbs(ring_degree, primes, residues)
+        forward = candidate.forward_limbs(ring_degree, primes, residues)
+        assert np.array_equal(forward, forward_ref)
+        assert np.array_equal(
+            candidate.inverse_limbs(ring_degree, primes, forward), residues)
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_polynomial_arithmetic_parity(self, backend_name, rng):
+        ring_degree, limbs = 32, 4
+        primes = generate_ntt_primes(limbs, 24, ring_degree)
+        a_res = _residue_matrix(rng, primes, ring_degree)
+        b_res = _residue_matrix(rng, primes, ring_degree)
+
+        def run():
+            a = RnsPolynomial(ring_degree, primes, a_res.copy())
+            b = RnsPolynomial(ring_degree, primes, b_res.copy())
+            return [a.add(b).residues, a.subtract(b).residues,
+                    a.hadamard(b).residues, a.negate().residues,
+                    a.scalar_multiply(12345).residues]
+
+        reference = run()
+        with use_backend(backend_name):
+            candidate = run()
+        for got, expected in zip(candidate, reference):
+            assert np.array_equal(got, expected)
+
+    def test_multiprocess_sharded_path_is_exact(self, rng):
+        """Force the shared-memory pool path (default threshold skips it)."""
+        backend = MultiprocessBackend(workers=2, min_shard_elements=1)
+        try:
+            primes = generate_ntt_primes(4, 30, 64)
+            lhs = np.stack([rng.integers(0, q, (16, 48), dtype=np.int64) for q in primes])
+            rhs = np.stack([rng.integers(0, q, (48, 12), dtype=np.int64) for q in primes])
+            got = modular_matmul_limbs(lhs, rhs, primes, backend=backend)
+            expected = modular_matmul_limbs(lhs, rhs, primes, backend="numpy")
+            assert np.array_equal(got, expected)
+        finally:
+            backend.close()
+
+    def test_blas_falls_back_when_guard_fails(self, rng):
+        """30-bit primes at a large inner dim break the single-pass 2**53
+        bound; the blas backend must stay bit-exact via split/int64."""
+        primes = generate_ntt_primes(2, 30, 512)
+        lhs = np.stack([rng.integers(0, q, (8, 512), dtype=np.int64) for q in primes])
+        rhs = np.stack([rng.integers(0, q, (512, 8), dtype=np.int64) for q in primes])
+        got = modular_matmul_limbs(lhs, rhs, primes, backend="blas")
+        expected = modular_matmul_limbs(lhs, rhs, primes, backend="numpy")
+        assert np.array_equal(got, expected)
+
+
+# ----------------------------------------------------------------------
+# Full-scheme parity: NTT / rescale / keyswitch bit-identical
+# ----------------------------------------------------------------------
+class TestSchemeParity:
+    SEED = 7
+
+    def _workload(self, backend_name):
+        """Encrypt, square (relinearize + rescale), rotate, decrypt."""
+        context = TensorFheContext(get_preset("toy"), seed=self.SEED,
+                                   rotation_steps=(1,), backend=backend_name)
+        values = [0.5, -0.25] * (context.slot_count // 2)
+        ciphertext = context.encrypt(values)
+        squared = context.multiply(ciphertext, ciphertext)   # keyswitch+rescale
+        rotated = context.rotate(squared, 1)                 # automorphism+keyswitch
+        residue_sets = [rotated.c0.residues, rotated.c1.residues]
+        return (residue_sets, context.decrypt(rotated),
+                context.kernel_counter.snapshot())
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return self._workload("numpy")
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_ciphertexts_bit_identical(self, backend_name, reference):
+        residues, decrypted, counters = self._workload(backend_name)
+        ref_residues, ref_decrypted, ref_counters = reference
+        assert len(residues) == len(ref_residues)
+        for got, expected in zip(residues, ref_residues):
+            assert np.array_equal(got, expected)
+        assert np.array_equal(decrypted, ref_decrypted)
+        # Backend choice is invisible to the kernel instrumentation.
+        assert counters == ref_counters
+
+    def test_facade_reports_backend(self):
+        context = TensorFheContext(get_preset("toy"), seed=1, backend="blas")
+        assert context.compute_backend == "blas"
+        assert context.context.describe()["compute_backend"] == "blas"
+
+    def test_default_context_follows_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "blas")
+        context = TensorFheContext(get_preset("toy"), seed=1)
+        assert context.compute_backend == "blas"

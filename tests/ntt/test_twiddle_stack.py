@@ -1,0 +1,88 @@
+"""Twiddle-stack memory: level-prefix stacks are views of the full chain.
+
+The paper precomputes one twiddle table per ``(N, q)``; the limb-batched
+engines additionally stack those tables per prime *chain*.  CKKS levels are
+prefixes of one chain, so every prefix stack (and its float64 image) must
+be a zero-copy row slice of the deepest cached chain rather than a
+per-prefix copy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ntt import NttPlanner, clear_twiddle_stacks, get_twiddle_stack
+from repro.ntt.twiddle import TwiddleStack
+from repro.numtheory import generate_ntt_primes
+
+RING_DEGREE = 32
+CHAIN = tuple(generate_ntt_primes(5, 24, RING_DEGREE))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stack_cache():
+    clear_twiddle_stacks()
+    yield
+    clear_twiddle_stacks()
+
+
+def test_prefix_stacks_are_views_of_the_full_chain():
+    full = get_twiddle_stack(RING_DEGREE, CHAIN)
+    full_w = full.forward_matrices()
+    for depth in (1, 2, 4):
+        prefix = get_twiddle_stack(RING_DEGREE, CHAIN[:depth])
+        prefix_w = prefix.forward_matrices()
+        assert np.array_equal(prefix_w, full_w[:depth])
+        assert np.shares_memory(prefix_w, full_w)
+        w1, w2, w3 = prefix.four_step_forward()
+        f1, f2, f3 = full.four_step_forward()
+        for view, owner in ((w1, f1), (w2, f2), (w3, f3)):
+            assert np.array_equal(view, owner[:depth])
+            assert np.shares_memory(view, owner)
+
+
+def test_prefix_float_caches_share_parent_images():
+    full = get_twiddle_stack(RING_DEGREE, CHAIN)
+    prefix = get_twiddle_stack(RING_DEGREE, CHAIN[:3])
+    full_cache = full.forward_matrices_cache()
+    prefix_cache = prefix.forward_matrices_cache()
+    assert np.shares_memory(prefix_cache.full(), full_cache.full())
+    assert np.array_equal(prefix_cache.full(), full_cache.full()[:3])
+    shift, hi, lo = prefix_cache.split()
+    full_shift, full_hi, full_lo = full_cache.split()
+    assert shift == full_shift
+    assert np.shares_memory(hi, full_hi) and np.shares_memory(lo, full_lo)
+
+
+def test_prefix_built_before_full_chain_is_standalone():
+    prefix = get_twiddle_stack(RING_DEGREE, CHAIN[:2])
+    early = prefix.forward_matrices()
+    full = get_twiddle_stack(RING_DEGREE, CHAIN)
+    assert not np.shares_memory(early, full.forward_matrices())
+    assert np.array_equal(early, full.forward_matrices()[:2])
+
+
+def test_mismatched_parent_rejected():
+    full = get_twiddle_stack(RING_DEGREE, CHAIN)
+    with pytest.raises(ValueError, match="prefix"):
+        TwiddleStack(RING_DEGREE, (CHAIN[1],), parent=full)
+    other_degree = generate_ntt_primes(2, 24, 64)
+    with pytest.raises(ValueError, match="ring degree"):
+        TwiddleStack(64, tuple(other_degree), parent=full)
+
+
+def test_transform_parity_through_views(rng):
+    """Rescale-shaped usage: transforms at every prefix depth stay exact."""
+    planner = NttPlanner("four_step")
+    for depth in (5, 3, 1):
+        primes = CHAIN[:depth]
+        residues = np.stack([
+            rng.integers(0, q, RING_DEGREE, dtype=np.int64) for q in primes
+        ])
+        values = planner.forward_limbs(RING_DEGREE, primes, residues)
+        per_limb = np.stack([
+            planner.engine_for(RING_DEGREE, q).forward(residues[i])
+            for i, q in enumerate(primes)
+        ])
+        assert np.array_equal(values, per_limb)
+        assert np.array_equal(
+            planner.inverse_limbs(RING_DEGREE, primes, values), residues)
