@@ -19,12 +19,11 @@ Results print as a table and are written as JSON through
 """
 
 import os
-import time
 
 import numpy as np
 import pytest
 
-from bench_common import write_results
+from bench_common import best_of, write_results
 from repro.backend import available_backends
 from repro.ntt import NttPlanner
 from repro.numtheory import generate_ntt_primes
@@ -35,20 +34,14 @@ GATE_SHAPE = (4096, 8)
 ENGINE = "four_step"
 #: 20-bit primes keep the blas backend on its single-pass float64 path.
 PRIME_BITS = 20
-REPEATS = 3
 #: ``BENCH_GATE_SCALE`` relaxes the wall-clock gate on noisy shared runners.
 GATE_SCALE = float(os.environ.get("BENCH_GATE_SCALE", "1.0"))
 #: At least one backend must beat numpy by this factor at the gate shape.
 GATE_SPEEDUP = 1.5 * GATE_SCALE
 
 
-def _measure(function, repeats: int = REPEATS) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        function()
-        best = min(best, time.perf_counter() - start)
-    return best
+#: Shared best-of-N timing harness (see ``bench_common.best_of``).
+_measure = best_of
 
 
 @pytest.fixture(scope="module")

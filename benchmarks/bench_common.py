@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 from repro.gpu import A100, V100
 from repro.perf import ModelParameters, NttVariant, OperationModel
@@ -40,6 +41,21 @@ def default_model(variant: str = NttVariant.GEMM_TCU, gpu=A100,
 def v100_model(variant: str = NttVariant.GEMM_TCU) -> OperationModel:
     """Same configuration on the V100 (the 100x / PrivFT platform)."""
     return default_model(variant=variant, gpu=V100)
+
+
+def best_of(function, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``function()``.
+
+    The shared timing harness of every wall-clock benchmark: best-of is
+    robust against scheduler noise on shared runners, and a change here
+    (warm-up policy, statistic) applies to the whole tracked trajectory.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def write_results(name: str, payload) -> str:

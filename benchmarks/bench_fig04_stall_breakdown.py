@@ -1,6 +1,6 @@
 """Figure 4: pipeline-stall breakdown of butterfly NTT vs FFT vs DWT."""
 
-from repro.gpu import BUILTIN_PROFILES, BUTTERFLY_NTT, DWT, FFT, PipelineStallModel, StallCategory
+from repro.gpu import BUILTIN_PROFILES, DWT, FFT, PipelineStallModel, StallCategory
 from repro.perf import format_table
 from repro.perf.literature import FIGURE_4_STALLS
 

@@ -23,12 +23,11 @@ the BLAS-vs-int64 gap; it is tracked with a no-regression gate instead.
 """
 
 import os
-import time
 
 import numpy as np
 import pytest
 
-from bench_common import write_results
+from bench_common import best_of, write_results
 from repro.ntt import NttPlanner
 from repro.numtheory import generate_ntt_primes
 from repro.perf import format_table
@@ -52,17 +51,10 @@ MATRIX_FLOOR = 0.9 * GATE_SCALE
 #: path at N=4096 (inner * q^2 < 2**53) while leaving the per-limb seed
 #: path its best case too (single unchunked int64 matmul per limb).
 PRIME_BITS = 20
-REPEATS = 3
 
 
-def _measure(function, repeats: int = REPEATS) -> float:
-    """Best-of-``repeats`` wall-clock seconds for ``function()``."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        function()
-        best = min(best, time.perf_counter() - start)
-    return best
+#: Shared best-of-N timing harness (see ``bench_common.best_of``).
+_measure = best_of
 
 
 def _time_engine(engine_name: str, ring_degree: int, limbs: int):

@@ -1,7 +1,7 @@
 """Table VI: amortised operation delay across implementations."""
 
-from bench_common import DEFAULT_PARAMETERS, VARIANT_LABELS, default_model, v100_model
-from repro.perf import NttVariant, OPERATIONS, format_table
+from bench_common import VARIANT_LABELS, default_model, v100_model
+from repro.perf import OPERATIONS, format_table
 from repro.perf.literature import TABLE_VI_OPERATION_DELAY_US
 
 

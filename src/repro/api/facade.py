@@ -17,6 +17,7 @@ import numpy as np
 from ..backend.base import ArrayBackend
 from ..backend.registry import resolve_backend
 from ..batching.scheduler import BatchPlan, BatchScheduler
+from ..ckks.batched_evaluator import BatchedEvaluator
 from ..ckks.ciphertext import Ciphertext, Plaintext
 from ..ckks.context import CkksContext
 from ..ckks.decryptor import Decryptor
@@ -47,6 +48,8 @@ class TensorFheContext:
         self.decryptor = Decryptor(self.context, self.secret_key)
         self.evaluator = Evaluator(self.context)
         self.batch_scheduler = BatchScheduler(gpu)
+        self.batched_evaluator = BatchedEvaluator(self.context,
+                                                  evaluator=self.evaluator)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -143,10 +146,89 @@ class TensorFheContext:
         return self.evaluator.rescale(ciphertext)
 
     def inner_sum(self, ciphertext: Ciphertext, count: Optional[int] = None) -> Ciphertext:
-        """Sum the first ``count`` (power-of-two) slots into every slot."""
+        """Sum the first ``count`` (power-of-two) slots into every slot.
+
+        ``count == 1`` is a no-op sum and needs no rotation keys at all;
+        larger counts need the powers of two strictly below ``count``.
+        """
         count = self.slot_count if count is None else count
-        self.ensure_rotation_keys([1 << i for i in range(max(1, count.bit_length() - 1))])
+        self.ensure_rotation_keys([1 << i for i in range(count.bit_length() - 1)])
         return self.evaluator.rotate_and_sum(ciphertext, self.rotation_keys, count)
+
+    # ------------------------------------------------------------------
+    # Batched FHE operations (independent streams, fused launches)
+    # ------------------------------------------------------------------
+    def add_many(self, lhs_streams: Sequence[Ciphertext],
+                 rhs_streams: Sequence[Ciphertext]) -> list:
+        """Batched HADD over independent pairs (fused ``(L, B, N)`` launches).
+
+        The API layer picks the batch size *B* through the
+        :class:`~repro.batching.scheduler.BatchScheduler` and feeds the
+        streams to the :class:`~repro.ckks.batched_evaluator.BatchedEvaluator`
+        one hardware-sized chunk at a time.
+        """
+        return self._run_batched(self.batched_evaluator.add,
+                                 lhs_streams, rhs_streams)
+
+    def multiply_many(self, lhs_streams: Sequence[Ciphertext],
+                      rhs_streams: Sequence[Ciphertext], *,
+                      rescale: bool = True) -> list:
+        """Batched HMULT (optionally with the trailing batched RESCALE)."""
+        if rescale:
+            return self._run_batched(
+                lambda lhs, rhs: self.batched_evaluator.multiply_and_rescale(
+                    lhs, rhs, self.relinearization_key),
+                lhs_streams, rhs_streams)
+        return self._run_batched(
+            lambda lhs, rhs: self.batched_evaluator.multiply(
+                lhs, rhs, self.relinearization_key),
+            lhs_streams, rhs_streams)
+
+    def multiply_plain_many(self, ciphertexts: Sequence[Ciphertext],
+                            values_streams: Sequence[Sequence[complex]], *,
+                            rescale: bool = True) -> list:
+        """Batched CMULT: each stream multiplied by its own slot vector."""
+        ciphertexts = list(ciphertexts)
+        values_streams = list(values_streams)
+        if len(ciphertexts) != len(values_streams):
+            raise ValueError("need one value vector per ciphertext stream")
+        plaintexts = [
+            self.encryptor.encode(values, level=ciphertext.level)
+            for ciphertext, values in zip(ciphertexts, values_streams)
+        ]
+        products = self._run_batched(self.batched_evaluator.multiply_plain,
+                                     ciphertexts, plaintexts)
+        if rescale:
+            return self.rescale_many(products)
+        return products
+
+    def rescale_many(self, ciphertexts: Sequence[Ciphertext]) -> list:
+        """Batched RESCALE over independent streams."""
+        ciphertexts = list(ciphertexts)
+        results = []
+        for start, stop in self._batch_bounds(ciphertexts):
+            results.extend(self.batched_evaluator.rescale(ciphertexts[start:stop]))
+        return results
+
+    def _run_batched(self, operation, lhs_streams, rhs_streams) -> list:
+        lhs_streams, rhs_streams = list(lhs_streams), list(rhs_streams)
+        if len(lhs_streams) != len(rhs_streams):
+            raise ValueError("stream lists have different lengths")
+        results = []
+        for start, stop in self._batch_bounds(lhs_streams):
+            results.extend(operation(lhs_streams[start:stop],
+                                     rhs_streams[start:stop]))
+        return results
+
+    def _batch_bounds(self, streams: Sequence[Ciphertext]):
+        """Chunk boundaries sized by the scheduler's chosen batch size."""
+        if not streams:
+            return
+        # The deepest stream has the largest working set; let it bound B.
+        level = max(ciphertext.level for ciphertext in streams)
+        size = max(1, self.plan_batch(level=level).batch_size)
+        for start in range(0, len(streams), size):
+            yield start, min(start + size, len(streams))
 
     # ------------------------------------------------------------------
     def plan_batch(self, *, level: Optional[int] = None,

@@ -1,6 +1,6 @@
 """Operation-level batching: data layouts, batched kernels, batch-size planning."""
 
-from .batcher import OperationBatcher, make_batch
+from .batcher import OperationBatcher
 from .layout import BatchedData, Layout
 from .scheduler import BatchPlan, BatchScheduler
 
@@ -8,7 +8,6 @@ __all__ = [
     "Layout",
     "BatchedData",
     "OperationBatcher",
-    "make_batch",
     "BatchScheduler",
     "BatchPlan",
 ]

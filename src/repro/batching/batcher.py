@@ -1,81 +1,139 @@
 """Operation-level batching of NTT work (paper Section IV-D).
 
 ``OperationBatcher`` executes the same kernel for many operations at once:
-all batched operations share the same ``(N, q)`` and therefore the same
-twiddle matrices, so the batched forward/inverse NTT turns into one big
-GEMM (or one engine call per operation for non-GEMM engines).  This is the
-functional counterpart of the throughput-oriented execution the paper
-advocates; the performance benefit on a real GPU is captured by the
-performance model, while this class demonstrates the data-reuse and layout
-mechanics and is used by the batching tests and benchmarks.
+all batched operations share one prime chain, so the batched forward and
+inverse NTT are a single ``forward_ops``/``inverse_ops`` engine call — one
+batched backend GEMM per transform step across *all* operations and limbs
+(the paper's ``(L, B, N)`` multi-ciphertext execution) — and the
+element-wise kernels are one funnel launch over the fused ``(L, B*N)``
+matrix.  This is the functional counterpart of the throughput-oriented
+execution the paper advocates; the performance benefit on a real GPU is
+captured by the performance model, while this class demonstrates (and the
+op-batching benchmark measures) the data-reuse and fused-launch mechanics.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels.base import KernelContext, KernelName
 from ..ntt.base import NttEngine
+from ..numtheory.modular import mat_mod_add, mat_mod_mul
 from .layout import BatchedData, Layout
 
 __all__ = ["OperationBatcher"]
 
 
 class OperationBatcher:
-    """Applies per-limb kernels across a whole batch of operations."""
+    """Executes whole ``(B, L, N)`` batches as single fused launches.
 
-    def __init__(self, engine: NttEngine, *, layout: str = Layout.L_B_N) -> None:
+    Every batched operation shares the same prime chain: by default the
+    engine's modulus replicated over every limb (the historical single-`q`
+    behaviour), or an explicit per-limb ``moduli`` chain for RNS batches.
+    Out-of-range operands are range-reduced on entry, as the engines'
+    validators do, before reaching the backend funnel's reduced-residue
+    kernels.
+
+    ``kernels`` optionally attaches a :class:`~repro.kernels.base.KernelContext`
+    whose counters record the batched kernels (NTT / INTT / Hada-Mult /
+    Ele-Add) per *operation*, so fused execution counts exactly like a
+    per-operation loop.
+    """
+
+    def __init__(self, engine: NttEngine, *, layout: str = Layout.L_B_N,
+                 moduli: Optional[Sequence[int]] = None,
+                 kernels: Optional[KernelContext] = None) -> None:
         self.engine = engine
         self.layout = layout
+        self.moduli = None if moduli is None else tuple(int(q) for q in moduli)
+        self.kernels = kernels
 
     # ------------------------------------------------------------------
     def forward_ntt(self, batch: BatchedData) -> BatchedData:
-        """Forward-NTT every limb of every batched operation."""
-        return self._transform(batch, self.engine.forward_batch)
+        """Forward-NTT every limb of every batched operation (one launch)."""
+        return self._transform(batch, self.engine.forward_ops, KernelName.NTT)
 
     def inverse_ntt(self, batch: BatchedData) -> BatchedData:
-        """Inverse-NTT every limb of every batched operation."""
-        return self._transform(batch, self.engine.inverse_batch)
+        """Inverse-NTT every limb of every batched operation (one launch)."""
+        return self._transform(batch, self.engine.inverse_ops, KernelName.INTT)
 
-    def _transform(self, batch: BatchedData, transform) -> BatchedData:
-        working = batch.convert(self.layout)
-        limb_count = working.limb_count
-        outputs: List[np.ndarray] = []
-        for level in range(limb_count):
-            # One level-pack is a (B, N) matrix sharing a single twiddle
-            # table — the engine's batched entry point handles it directly.
-            pack = working.level_pack(level)
-            outputs.append(transform(pack))
-        if self.layout == Layout.L_B_N:
-            data = np.stack(outputs)                       # (L, B, N)
+    def _transform(self, batch: BatchedData, transform, kernel: str) -> BatchedData:
+        # One (B, L, N) stack, one engine call: the GEMM engines fuse both
+        # axes into single backend launches per transform step.
+        working = batch.convert(Layout.B_L_N)
+        if self.moduli is None:
+            # Single-modulus batch: every limb shares the engine's prime,
+            # so fold the limb axis into the operation axis — the fused
+            # launch then reuses the one (N, q) twiddle stack instead of
+            # materialising a limb_count-times duplicated chain.
+            stacks = working.data.reshape(-1, 1, batch.ring_degree)
+            data = transform(stacks, (self.engine.modulus,))
+            data = data.reshape(batch.batch_size, batch.limb_count,
+                                batch.ring_degree)
         else:
-            data = np.stack(outputs).swapaxes(0, 1)        # (B, L, N)
-        return BatchedData(np.ascontiguousarray(data), self.layout)
+            data = transform(working.data, self._moduli_for(batch))
+        self._record(kernel, batch.batch_size, batch.limb_count)
+        return BatchedData(data, Layout.B_L_N).convert(self.layout)
 
     # ------------------------------------------------------------------
     def hadamard(self, lhs: BatchedData, rhs: BatchedData) -> BatchedData:
-        """Batched element-wise modular product (batched Hada-Mult)."""
-        self._check_compatible(lhs, rhs)
-        left = lhs.convert(self.layout)
-        right = rhs.convert(self.layout)
-        product = (left.data.astype(np.int64) * right.data.astype(np.int64)) % self.engine.modulus
-        return BatchedData(product, self.layout)
+        """Batched element-wise modular product (batched Hada-Mult).
+
+        Routed through the backend funnel's exact mat-mod kernels, which
+        keep the product exact for any modulus (the object-dtype path
+        covers moduli at or above 2**31, where a raw int64 product would
+        overflow).
+        """
+        return self._elementwise(lhs, rhs, mat_mod_mul, KernelName.HADAMARD)
 
     def add(self, lhs: BatchedData, rhs: BatchedData) -> BatchedData:
         """Batched element-wise modular addition (batched Ele-Add)."""
+        return self._elementwise(lhs, rhs, mat_mod_add, KernelName.ELE_ADD)
+
+    def _elementwise(self, lhs: BatchedData, rhs: BatchedData, op,
+                     kernel: str) -> BatchedData:
         self._check_compatible(lhs, rhs)
-        left = lhs.convert(self.layout)
-        right = rhs.convert(self.layout)
-        total = (left.data + right.data) % self.engine.modulus
-        return BatchedData(total, self.layout)
+        moduli = self._moduli_for(lhs)
+        column = np.asarray(moduli, dtype=np.int64)[:, None]
+        left = self._reduced(lhs, column)
+        right = self._reduced(rhs, column)
+        # One funnel launch over the (L, B*N) fused matrix: the moduli
+        # column broadcasts per limb across every batched operation.
+        fused = op(left, right, moduli)
+        self._record(kernel, lhs.batch_size, lhs.limb_count)
+        shaped = fused.reshape(lhs.limb_count, lhs.batch_size, lhs.ring_degree)
+        return BatchedData(shaped, Layout.L_B_N).convert(self.layout)
+
+    def _reduced(self, batch: BatchedData, column: np.ndarray) -> np.ndarray:
+        """The fused ``(L, B*N)`` matrix, range-reduced if needed.
+
+        The backend mat-mod kernels assume reduced residues; out-of-range
+        inputs are reduced here first (scan-then-reduce, like the engines'
+        validators) so callers may hand in raw coefficients.
+        """
+        fused = batch.convert(Layout.L_B_N).fused_matrix()
+        if np.any(fused < 0) or np.any(fused >= column):
+            fused = fused % column
+        return fused
+
+    # ------------------------------------------------------------------
+    def _moduli_for(self, batch: BatchedData) -> Tuple[int, ...]:
+        if self.moduli is not None:
+            if len(self.moduli) != batch.limb_count:
+                raise ValueError(
+                    "batcher has %d moduli but the batch has %d limbs"
+                    % (len(self.moduli), batch.limb_count)
+                )
+            return self.moduli
+        return (self.engine.modulus,) * batch.limb_count
+
+    def _record(self, kernel: str, operations: int, limbs: int) -> None:
+        if self.kernels is not None:
+            self.kernels.counter.record_batch(kernel, operations, limbs)
 
     def _check_compatible(self, lhs: BatchedData, rhs: BatchedData) -> None:
         if (lhs.batch_size, lhs.limb_count, lhs.ring_degree) != (
                 rhs.batch_size, rhs.limb_count, rhs.ring_degree):
             raise ValueError("batched operands have mismatching shapes")
-
-
-def make_batch(operations: Sequence[np.ndarray], layout: str = Layout.L_B_N) -> BatchedData:
-    """Convenience helper building a :class:`BatchedData` from (L, N) matrices."""
-    return BatchedData.from_operations(operations, layout)

@@ -64,12 +64,33 @@ class BatchedData:
 
     # ------------------------------------------------------------------
     def convert(self, layout: str) -> "BatchedData":
-        """Return the same data in another layout."""
+        """Return the same data in another layout.
+
+        Aliasing contract: the same-layout path is **zero-copy** — the
+        returned batch shares ``self.data`` (every batched operation reads
+        its operands, it never mutates them in place, so the alias is
+        safe and saves a full ``(L, B, N)`` copy per batched op).  Callers
+        that intend to write into the result must copy explicitly.  A
+        cross-layout conversion materialises a fresh contiguous array.
+        """
         if layout == self.layout:
-            return BatchedData(self.data.copy(), layout)
+            return BatchedData(self.data, layout)
         if layout not in Layout.ALL:
             raise ValueError("unknown layout %r" % layout)
         return BatchedData(np.ascontiguousarray(self.data.swapaxes(0, 1)), layout)
+
+    def fused_matrix(self) -> np.ndarray:
+        """The ``(L, B*N)`` matrix feeding the fused element-wise kernels.
+
+        Row ``l`` holds limb ``l`` of every batched operation back to back
+        — the shape the backend funnel's mat-mod kernels consume with one
+        modulus per row.  Only defined for the ``(L, B, N)`` layout, where
+        it is a zero-copy reshape of contiguous data.
+        """
+        if self.layout != Layout.L_B_N:
+            raise ValueError("fused_matrix requires the %s layout" % Layout.L_B_N)
+        return self.data.reshape(self.limb_count,
+                                 self.batch_size * self.ring_degree)
 
     def level_pack(self, level: int) -> np.ndarray:
         """The ``(B, N)`` pack of limb ``level`` across the whole batch."""

@@ -11,6 +11,7 @@ limits.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..gpu.spec import GpuSpec
 

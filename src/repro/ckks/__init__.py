@@ -1,5 +1,6 @@
 """Full-RNS CKKS: parameters, encoding, keys, encryption, evaluation, bootstrap."""
 
+from .batched_evaluator import BatchedEvaluator
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
 from .decryptor import Decryptor
@@ -29,4 +30,5 @@ __all__ = [
     "Encryptor",
     "Decryptor",
     "Evaluator",
+    "BatchedEvaluator",
 ]

@@ -23,16 +23,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..ciphertext import Ciphertext
 from ..context import CkksContext
-from ..decryptor import Decryptor
 from ..encryptor import Encryptor
 from ..evaluator import Evaluator
-from ..keys import RotationKeySet, SecretKey, SwitchKey
+from ..keys import RotationKeySet, SwitchKey
 from .dft import CoeffToSlot, SlotToCoeff
 from .mod_raise import ModRaise
 from .sine_eval import SineEvaluator, taylor_sine_coefficients

@@ -13,7 +13,7 @@ from typing import Optional
 
 from ..kernels import ops as kernel_ops
 from ..kernels.automorphism import galois_element_for_rotation
-from ..numtheory.modular import moduli_column
+from ..numtheory.modular import mat_mod_mul, moduli_column
 from ..rns.poly import RnsPolynomial
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
@@ -194,7 +194,9 @@ class Evaluator:
         inverse_column = self.context.rescale_inverses(polynomial.moduli)
         last_residues = polynomial.residues[-1]
         diff = (polynomial.residues[:-1] - (last_residues[None, :] % column)) % column
-        residues = (diff * inverse_column) % column
+        # Funnel multiply: exact even for moduli whose residue products
+        # overflow int64, matching the batched rescale bit for bit.
+        residues = mat_mod_mul(diff, inverse_column, column)
         kernels.counter.record(kernel_ops.KernelName.ELE_SUB, len(moduli))
         return RnsPolynomial(polynomial.ring_degree, moduli, residues,
                              polynomial.domain)

@@ -16,7 +16,7 @@ Two kinds of parameter sets coexist:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..ntt.planner import DEFAULT_ENGINE

@@ -45,6 +45,18 @@ class KernelCounter:
         self.invocations[kernel] += 1
         self.limb_vectors[kernel] += limbs
 
+    def record_batch(self, kernel: str, operations: int,
+                     limbs_per_operation: int) -> None:
+        """Record ``operations`` invocations issued as one fused launch.
+
+        Operation-batched execution fuses many independent operations into
+        a single backend launch; the counters still record one invocation
+        per batched operation so the instrumentation is independent of how
+        the work is fused (matching looped per-operation execution).
+        """
+        self.invocations[kernel] += operations
+        self.limb_vectors[kernel] += operations * limbs_per_operation
+
     def reset(self) -> None:
         self.invocations.clear()
         self.limb_vectors.clear()

@@ -14,13 +14,19 @@ batching (Section IV-C):
 * ``forward_batch`` / ``inverse_batch`` — many polynomials sharing one
   modulus (the *B* axis of the paper's ``(L, B, N)`` layout);
 * ``forward_limbs`` / ``inverse_limbs`` — the limbs of one RNS polynomial,
-  each row with its own prime (the *L* axis).
+  each row with its own prime (the *L* axis);
+* ``forward_ops`` / ``inverse_ops`` — both axes fused: a ``(B, L, N)``
+  stack of whole RNS polynomials, the paper's full multi-ciphertext
+  batched execution.
 
 ``forward_limbs`` is the primary path of the CKKS stack: a whole
 ``(limbs, N)`` residue matrix is transformed in one engine call.  The GEMM
 engines implement it natively by stacking the per-modulus twiddle operands
-into 3-D batched ``matmul`` launches; this base class provides a generic
-per-limb fallback for the butterfly and reference engines.
+into 3-D batched ``matmul`` launches, and extend the same launches to
+``forward_ops`` by folding the operation axis into the GEMM's free
+dimension — one backend launch per transform step covers every operation
+and every limb.  This base class provides generic fallbacks (per-limb and
+per-operation dispatch) for the butterfly and reference engines.
 """
 
 from __future__ import annotations
@@ -111,6 +117,39 @@ class NttEngine(abc.ABC):
             for i, q in enumerate(moduli)
         ])
 
+    # ------------------------------------------------------------------
+    # Operation-batched transforms: one call per (B, L, N) stack.
+    # ------------------------------------------------------------------
+    def forward_ops(self, stacks: np.ndarray,
+                    moduli: Sequence[int]) -> np.ndarray:
+        """Forward-transform a ``(B, L, N)`` stack of RNS polynomials.
+
+        ``stacks[b, i]`` is limb ``i`` of operation ``b`` and is reduced
+        modulo ``moduli[i]`` — every operation shares the same prime chain,
+        which is what lets the batch share one twiddle stack.  Generic
+        fallback: one :meth:`forward_limbs` call per operation, which owns
+        the per-slice validation (no second pass over the stack here).
+        The GEMM engines override this with a single batched launch per
+        transform step covering all ``B * L`` rows.
+        """
+        stacks = self._check_ops_shape(stacks)
+        if stacks.shape[0] == 0:
+            return stacks
+        return np.stack([self.forward_limbs(stacks[b], moduli)
+                         for b in range(stacks.shape[0])])
+
+    def inverse_ops(self, stacks: np.ndarray,
+                    moduli: Sequence[int]) -> np.ndarray:
+        """Inverse-transform a ``(B, L, N)`` stack of RNS polynomials.
+
+        Generic per-operation fallback; see :meth:`forward_ops`.
+        """
+        stacks = self._check_ops_shape(stacks)
+        if stacks.shape[0] == 0:
+            return stacks
+        return np.stack([self.inverse_limbs(stacks[b], moduli)
+                         for b in range(stacks.shape[0])])
+
     def _engine_for_modulus(self, modulus: int) -> "NttEngine":
         """Return a same-class engine for ``(N, modulus)`` (cached)."""
         if modulus == self.modulus:
@@ -148,6 +187,32 @@ class NttEngine(abc.ABC):
                 % (moduli_array.shape[0], array.shape[0])
             )
         column = moduli_array[:, None]
+        if np.any(array < 0) or np.any(array >= column):
+            array = array % column
+        return array, moduli_array
+
+    def _check_ops_shape(self, stacks: np.ndarray) -> np.ndarray:
+        """Shape-check a ``(B, limbs, N)`` stack (no range scan)."""
+        array = np.asarray(stacks, dtype=np.int64)
+        if array.ndim != 3 or array.shape[2] != self.ring_degree:
+            raise ValueError(
+                "expected a (B, limbs, %d) stack, got shape %s"
+                % (self.ring_degree, array.shape)
+            )
+        return array
+
+    def _validate_ops(self, stacks: np.ndarray,
+                      moduli: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Check/reduce a ``(B, limbs, N)`` stack against its shared moduli."""
+        array = self._check_ops_shape(stacks)
+        moduli_array = np.asarray([int(q) for q in moduli], dtype=np.int64)
+        if moduli_array.shape[0] != array.shape[1]:
+            raise ValueError(
+                "got %d moduli for %d limbs"
+                % (moduli_array.shape[0], array.shape[1])
+            )
+        # Moduli broadcast over the limb axis (axis 1) of the stack.
+        column = moduli_array[None, :, None]
         if np.any(array < 0) or np.any(array >= column):
             array = array % column
         return array, moduli_array

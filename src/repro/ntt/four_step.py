@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..numtheory.modular import mat_mod_mul
 from .base import NttEngine
 from .gemm_utils import (
     modular_hadamard,
@@ -98,7 +99,73 @@ class FourStepNtt(NttEngine):
         twisted = self._hadamard_limbs(inner, v2, moduli_array)
         outer = self._gemm_limbs(twisted, v3, moduli_array, rhs_cache=v3_cache)
         flattened = outer.transpose(0, 2, 1).reshape(limbs, self.ring_degree)
-        return (flattened * stack.degree_inverse_column) % moduli_array[:, None]
+        # Funnel multiply: exact even for moduli whose residue products
+        # overflow int64 (the funnel's object-dtype path covers >= 2**31).
+        return mat_mod_mul(flattened, stack.degree_inverse_column, moduli_array)
+
+    # -- operation-batched path: the whole (B, L, N) stack, 3 launches --
+    def forward_ops(self, stacks: np.ndarray,
+                    moduli: Sequence[int]) -> np.ndarray:
+        """Forward NTT of a ``(B, L, N)`` stack in three fused launches.
+
+        The operation axis folds into the free dimension of each GEMM: the
+        inner NTT runs on ``(limbs, N1, B*N2)`` operands, the Hadamard
+        twiddle broadcasts across the batch (a zero-copy ``(limbs, N1, 1,
+        N2)`` view — no per-batch operand is materialised), and the outer
+        DFT folds the batch into its row dimension — so every transform
+        step is one backend launch covering all ``B`` operations and all
+        limbs.
+        """
+        stacks, moduli_array = self._validate_ops(stacks, moduli)
+        stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
+        w1, w2, w3 = stack.four_step_forward()
+        w1_cache, w3_cache = stack.four_step_forward_caches()
+        return self._ops_pipeline(stacks, moduli_array, w1, w2, w3,
+                                  w1_cache, w3_cache)
+
+    def inverse_ops(self, stacks: np.ndarray,
+                    moduli: Sequence[int]) -> np.ndarray:
+        """Inverse NTT of a ``(B, L, N)`` stack in three fused launches."""
+        stacks, moduli_array = self._validate_ops(stacks, moduli)
+        if stacks.shape[0] == 0:
+            return stacks
+        stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
+        v1, v2, v3 = stack.four_step_inverse()
+        v1_cache, v3_cache = stack.four_step_inverse_caches()
+        flattened = self._ops_pipeline(stacks, moduli_array, v1, v2, v3,
+                                       v1_cache, v3_cache)
+        batch, limbs = flattened.shape[0], flattened.shape[1]
+        # Funnel multiply: exact even for moduli whose residue products
+        # overflow int64 (the funnel's object-dtype path covers >= 2**31).
+        scaled = mat_mod_mul(
+            flattened.reshape(batch * limbs, self.ring_degree),
+            np.tile(stack.degree_inverse_column, (batch, 1)),
+            np.tile(moduli_array, batch))
+        return scaled.reshape(batch, limbs, self.ring_degree)
+
+    def _ops_pipeline(self, stacks: np.ndarray, moduli_array: np.ndarray,
+                      w1: np.ndarray, w2: np.ndarray, w3: np.ndarray,
+                      w1_cache, w3_cache) -> np.ndarray:
+        """The three fused launches shared by both transform directions."""
+        batch, limbs = stacks.shape[0], stacks.shape[1]
+        a_mat = stacks.reshape(batch, limbs, self.n1, self.n2)
+        inner = self._gemm_limbs(
+            w1,
+            np.ascontiguousarray(a_mat.transpose(1, 2, 0, 3)).reshape(
+                limbs, self.n1, batch * self.n2),
+            moduli_array, lhs_cache=w1_cache)
+        twisted = self._hadamard_limbs(
+            inner.reshape(limbs, self.n1, batch, self.n2),
+            w2[:, :, None, :], moduli_array)
+        outer = self._gemm_limbs(
+            np.ascontiguousarray(
+                twisted.transpose(0, 2, 1, 3)).reshape(
+                    limbs, batch * self.n1, self.n2),
+            w3, moduli_array, rhs_cache=w3_cache)
+        # Column-major flattening of every (N1, N2) slice, per operation.
+        return np.ascontiguousarray(
+            outer.reshape(limbs, batch, self.n1, self.n2)
+            .transpose(1, 0, 3, 2)).reshape(batch, limbs, self.ring_degree)
 
     # -- hooks the tensor-core engine overrides -------------------------
     def _gemm(self, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:

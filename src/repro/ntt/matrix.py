@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..numtheory.modular import mat_mod_mul
 from .base import NttEngine
 from .gemm_utils import modular_matmul, modular_matmul_limbs
 from .twiddle import TwiddleCache, get_twiddle_cache, get_twiddle_stack
@@ -89,4 +90,41 @@ class MatrixNtt(NttEngine):
             weights, values[:, :, None], moduli_array,
             lhs_cache=stack.inverse_matrices_cache(),
             backend=self.backend)[:, :, 0]
-        return (raw * stack.degree_inverse_column) % moduli_array[:, None]
+        # Funnel multiply: exact even for moduli whose residue products
+        # overflow int64 (the funnel's object-dtype path covers >= 2**31).
+        return mat_mod_mul(raw, stack.degree_inverse_column, moduli_array)
+
+    # -- operation-batched path: the whole (B, L, N) stack in one GEMM --
+    def forward_ops(self, stacks: np.ndarray,
+                    moduli: Sequence[int]) -> np.ndarray:
+        """Forward NTT of every limb of every operation as one 3-D GEMM.
+
+        The operation axis folds into the free (column) dimension of the
+        limb-batched matmul: ``out[l] = W[l] @ x[l]`` with ``x[l]`` the
+        ``(N, B)`` matrix of limb ``l`` across the whole batch, so the
+        entire ``(B, L, N)`` stack is a single backend launch.
+        """
+        stacks, moduli_array = self._validate_ops(stacks, moduli)
+        stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
+        weights = stack.forward_matrices()
+        rhs = np.ascontiguousarray(stacks.transpose(1, 2, 0))       # (L, N, B)
+        out = modular_matmul_limbs(
+            weights, rhs, moduli_array,
+            lhs_cache=stack.forward_matrices_cache(),
+            backend=self.backend)
+        return np.ascontiguousarray(out.transpose(2, 0, 1))         # (B, L, N)
+
+    def inverse_ops(self, stacks: np.ndarray,
+                    moduli: Sequence[int]) -> np.ndarray:
+        """Inverse NTT of a whole ``(B, L, N)`` stack as one 3-D GEMM."""
+        stacks, moduli_array = self._validate_ops(stacks, moduli)
+        stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
+        weights = stack.inverse_matrices()
+        rhs = np.ascontiguousarray(stacks.transpose(1, 2, 0))       # (L, N, B)
+        raw = modular_matmul_limbs(
+            weights, rhs, moduli_array,
+            lhs_cache=stack.inverse_matrices_cache(),
+            backend=self.backend)
+        raw = mat_mod_mul(raw, stack.degree_inverse_column[:, :, None],
+                          moduli_array[:, None, None])
+        return np.ascontiguousarray(raw.transpose(2, 0, 1))         # (B, L, N)

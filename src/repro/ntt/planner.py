@@ -113,6 +113,29 @@ class NttPlanner:
         engine = self.engine_for(ring_degree, int(moduli[0]), name=name)
         return engine.inverse_limbs(values, moduli)
 
+    # ------------------------------------------------------------------
+    # Operation-batched transforms: one engine call per (B, L, N) stack.
+    # ------------------------------------------------------------------
+    def forward_ops(self, ring_degree: int, moduli: Sequence[int],
+                    stacks: np.ndarray, *,
+                    name: Optional[str] = None) -> np.ndarray:
+        """Forward-NTT a whole ``(B, limbs, N)`` stack in one call.
+
+        Every operation shares the prime chain ``moduli``; GEMM engines
+        fuse both the operation and the limb axis into single batched
+        launches per transform step, the butterfly and reference engines
+        fall back to per-operation dispatch.
+        """
+        engine = self.engine_for(ring_degree, int(moduli[0]), name=name)
+        return engine.forward_ops(stacks, moduli)
+
+    def inverse_ops(self, ring_degree: int, moduli: Sequence[int],
+                    stacks: np.ndarray, *,
+                    name: Optional[str] = None) -> np.ndarray:
+        """Inverse-NTT a whole ``(B, limbs, N)`` stack in one call."""
+        engine = self.engine_for(ring_degree, int(moduli[0]), name=name)
+        return engine.inverse_ops(stacks, moduli)
+
     def clear(self) -> None:
         """Drop all cached engines (and their twiddle tables)."""
         self._engines.clear()

@@ -11,7 +11,7 @@ of Section IV of the paper.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..ntt.twiddle import split_degree
 
