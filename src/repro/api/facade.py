@@ -210,6 +210,47 @@ class TensorFheContext:
             results.extend(self.batched_evaluator.rescale(ciphertexts[start:stop]))
         return results
 
+    def rotate_many(self, ciphertexts: Sequence[Ciphertext],
+                    steps: Union[int, Sequence[int]]) -> list:
+        """Batched HROTATE: the automorphism plus a B-fused key switch.
+
+        ``steps`` is either one shared step count or one per stream;
+        streams sharing a step fuse into single launches (the switch key
+        is per step, so only same-step streams can share an inner
+        product).  Zero-step streams are copies and need no keys at all.
+        """
+        ciphertexts = list(ciphertexts)
+        if isinstance(steps, (int, np.integer)):
+            step_list = [int(steps)] * len(ciphertexts)
+        else:
+            step_list = [int(step) for step in steps]
+            if len(step_list) != len(ciphertexts):
+                raise ValueError("need one step count per ciphertext stream")
+        normalized = [step % self.slot_count for step in step_list]
+        self.ensure_rotation_keys(sorted({step for step in normalized if step}))
+        results: list = [None] * len(ciphertexts)
+        step_groups: dict = {}
+        for index, step in enumerate(normalized):
+            step_groups.setdefault(step, []).append(index)
+        for step, indices in step_groups.items():
+            streams = [ciphertexts[i] for i in indices]
+            rotated: list = []
+            for start, stop in self._batch_bounds(streams):
+                rotated.extend(self.batched_evaluator.rotate(
+                    streams[start:stop], step, self.rotation_keys))
+            for i, ciphertext in zip(indices, rotated):
+                results[i] = ciphertext
+        return results
+
+    def conjugate_many(self, ciphertexts: Sequence[Ciphertext]) -> list:
+        """Batched HCONJ over independent streams (B-fused key switch)."""
+        ciphertexts = list(ciphertexts)
+        results = []
+        for start, stop in self._batch_bounds(ciphertexts):
+            results.extend(self.batched_evaluator.conjugate(
+                ciphertexts[start:stop], self.rotation_keys))
+        return results
+
     def _run_batched(self, operation, lhs_streams, rhs_streams) -> list:
         lhs_streams, rhs_streams = list(lhs_streams), list(rhs_streams)
         if len(lhs_streams) != len(rhs_streams):

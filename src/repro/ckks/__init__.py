@@ -1,6 +1,7 @@
 """Full-RNS CKKS: parameters, encoding, keys, encryption, evaluation, bootstrap."""
 
 from .batched_evaluator import BatchedEvaluator
+from .batched_keyswitch import BatchedKeySwitcher
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
 from .decryptor import Decryptor
@@ -27,6 +28,7 @@ __all__ = [
     "RotationKeySet",
     "KeyGenerator",
     "KeySwitcher",
+    "BatchedKeySwitcher",
     "Encryptor",
     "Decryptor",
     "Evaluator",

@@ -19,11 +19,14 @@ preserved exactly: results are bit-identical to looping the sequential
 counters record the same invocations (fusion is invisible to the
 instrumentation, via :meth:`~repro.kernels.base.KernelCounter.record_batch`).
 
-Two deliberate scope notes: streams whose operands are not all in the
-coefficient domain take the sequential path for that stream (the fused NTT
-needs a uniform domain), and the HMULT key-switch inner loop — itself fully
-limb-batched since the limb-batching refactor — still runs once per stream;
-fusing the ``dnum`` decomposition across the *B* axis is future work.
+One deliberate scope note remains: streams whose operands are not all in
+the coefficient domain take the sequential path for that stream (the fused
+NTT needs a uniform domain).  The HMULT key switch and the rotation /
+conjugation paths are fully B-fused through
+:class:`~repro.ckks.batched_keyswitch.BatchedKeySwitcher`: the dnum
+decomposition of every stream stacks into one ``(B, dnum, L, N)`` tensor
+and the whole batch mods up, transforms, inner-products and mods down in
+single launches.
 """
 
 from __future__ import annotations
@@ -32,6 +35,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels.automorphism import (
+    apply_automorphism_coeff,
+    galois_element_for_rotation,
+)
 from ..kernels.base import KernelName
 from ..numtheory.modular import (
     mat_mod_add,
@@ -40,10 +47,11 @@ from ..numtheory.modular import (
     mat_mod_sub,
 )
 from ..rns.poly import PolyDomain, RnsPolynomial
+from .batched_keyswitch import BatchedKeySwitcher
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
 from .evaluator import Evaluator
-from .keys import SwitchKey
+from .keys import RotationKeySet, SwitchKey
 
 __all__ = ["BatchedEvaluator"]
 
@@ -55,8 +63,12 @@ class BatchedEvaluator:
                  evaluator: Optional[Evaluator] = None) -> None:
         self.context = context
         #: Sequential evaluator: shared bookkeeping helpers (align, scale
-        #: checks, key switching) and the fallback for non-fusable streams.
+        #: checks) and the fallback for non-fusable streams.
         self.evaluator = evaluator if evaluator is not None else Evaluator(context)
+        #: B-fused key switching; shares the sequential switcher's
+        #: ModUp/ModDown caches so no duplicate precomputation exists.
+        self.key_switcher = BatchedKeySwitcher(
+            context, key_switcher=self.evaluator.key_switcher)
 
     # ------------------------------------------------------------------
     # HADD: B independent additions, one Ele-Add launch per component
@@ -187,14 +199,13 @@ class BatchedEvaluator:
             coeff = self.context.planner.inverse_ops(
                 self.context.ring_degree, moduli, np.concatenate([d0, d1, d2]))
             self._record(KernelName.INTT, 3 * batch, limbs)
-            # Generalized key switching stays per-stream: its dnum inner
-            # loop is already limb-batched, but not yet fused across B.
-            switched = [
-                self.evaluator.key_switcher.switch(
-                    self._poly(moduli, coeff[2 * batch + j]),
-                    relinearization_key, level)
-                for j in range(batch)
-            ]
+            # Generalized key switching, fused across the B axis: the dnum
+            # decomposition of every stream stacks into one (B, dnum, L, N)
+            # tensor and runs as batched ModUp / NTT / inner-product /
+            # ModDown launches.
+            switched = self.key_switcher.switch_many(
+                [self._poly(moduli, coeff[2 * batch + j]) for j in range(batch)],
+                relinearization_key, level)
             outputs = []
             for slot, component in enumerate(("c0", "c1")):
                 own = coeff[slot * batch:(slot + 1) * batch]
@@ -253,6 +264,86 @@ class BatchedEvaluator:
                     c1=self._poly(surviving, scaled[batch + j], ciphertext.c1.domain),
                     scale=ciphertext.scale / last_prime,
                     level=ciphertext.level - 1,
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    # HROTATE / HCONJ: B automorphisms plus one fused key switch
+    # ------------------------------------------------------------------
+    def rotate(self, ciphertexts: Sequence[Ciphertext], steps: int,
+               rotation_keys: RotationKeySet) -> List[Ciphertext]:
+        """Batched HROTATE: rotate every stream by the same ``steps``.
+
+        The automorphism is one gather over the stacked ``(2B, L, N)``
+        residues and the key switch runs B-fused; streams are grouped by
+        their active prime chain exactly like the other batched paths.
+        """
+        ciphertexts = list(ciphertexts)
+        if not ciphertexts:
+            # Match the sequential loop over zero streams, which never
+            # resolves a key: empty in, empty out.
+            return []
+        steps %= self.context.slot_count
+        if steps == 0:
+            return [ciphertext.copy() for ciphertext in ciphertexts]
+        galois_element = galois_element_for_rotation(
+            steps, self.context.ring_degree)
+        switch_key = rotation_keys.for_steps(steps)
+        return self._apply_galois_many(
+            ciphertexts, galois_element, switch_key, KernelName.FROBENIUS,
+            lambda ct: self.evaluator.rotate(ct, steps, rotation_keys))
+
+    def conjugate(self, ciphertexts: Sequence[Ciphertext],
+                  rotation_keys: RotationKeySet) -> List[Ciphertext]:
+        """Batched HCONJ: conjugate the slot vector of every stream."""
+        ciphertexts = list(ciphertexts)
+        if not ciphertexts:
+            return []
+        if rotation_keys.conjugation_key is None:
+            raise ValueError("rotation key set has no conjugation key")
+        galois_element = 2 * self.context.ring_degree - 1
+        return self._apply_galois_many(
+            ciphertexts, galois_element, rotation_keys.conjugation_key,
+            KernelName.CONJUGATE,
+            lambda ct: self.evaluator.conjugate(ct, rotation_keys))
+
+    def _apply_galois_many(self, ciphertexts: Sequence[Ciphertext],
+                           galois_element: int, switch_key: SwitchKey,
+                           kernel: str, sequential) -> List[Ciphertext]:
+        results: List[Optional[Ciphertext]] = [None] * len(ciphertexts)
+        fusable: List[Tuple[int, Ciphertext]] = []
+        for i, ciphertext in enumerate(ciphertexts):
+            if self._all_coefficient(ciphertext.c0, ciphertext.c1):
+                fusable.append((i, ciphertext))
+            else:
+                results[i] = sequential(ciphertext)
+
+        for moduli, indices in self._grouped(
+                entry[1].moduli for entry in fusable).items():
+            entries = [fusable[k] for k in indices]
+            batch, limbs = len(entries), len(moduli)
+            level = entries[0][1].level
+            tiled = self._tiled_moduli(moduli, batch)
+            stacks = np.concatenate([
+                self._stack([ct.c0 for _, ct in entries]),
+                self._stack([ct.c1 for _, ct in entries]),
+            ])                                            # (2B, L, N)
+            column = np.asarray(moduli, dtype=np.int64)[:, None]
+            rotated = apply_automorphism_coeff(stacks, galois_element, column)
+            self._record(kernel, 2 * batch, limbs)
+            switched = self.key_switcher.switch_many(
+                [self._poly(moduli, rotated[batch + j]) for j in range(batch)],
+                switch_key, level)
+            key_part = self._stack([pair[0] for pair in switched])
+            fused = mat_mod_add(self._fuse(rotated[:batch]),
+                                self._fuse(key_part), tiled)
+            self._record(KernelName.ELE_ADD, batch, limbs)
+            summed = fused.reshape(key_part.shape)
+            for j, (i, ciphertext) in enumerate(entries):
+                results[i] = Ciphertext(
+                    c0=self._poly(moduli, summed[j]),
+                    c1=switched[j][1],
+                    scale=ciphertext.scale, level=ciphertext.level,
                 )
         return results
 

@@ -1,0 +1,200 @@
+"""B-fused generalized key switching (paper Algorithm 1 across streams).
+
+:class:`KeySwitcher` executes Algorithm 1 for one polynomial; its dnum
+decomposition loop is limb-batched but still runs once per ciphertext, so a
+batch of *B* HMULT/rotation streams pays ``B`` separate launch sequences
+for the most expensive CKKS primitive.  :class:`BatchedKeySwitcher` fuses
+the whole stream batch:
+
+* **Dcomp** — the dnum restriction of every stream is one gather into a
+  ``(B, dnum, L, N)`` residue tensor;
+* **ModUp** — one batched Conv per decomposition group
+  (:meth:`~repro.rns.modup.ModUp.apply_batch`), the batch folded into the
+  row-moduli GEMM's free dimension;
+* **NTT** — a single :meth:`~repro.ntt.planner.NttPlanner.forward_ops`
+  engine call transforms all ``B * dnum`` extended slices at once;
+* **Inner-product** — one fused Hada-Mult funnel launch per ``(b, a)``
+  component over the ``(B*dnum*L', N)`` stack, with the dnum axis folded by
+  an exact modular reduction;
+* **ModDown** — both accumulators of every stream return to the ciphertext
+  basis through one ``inverse_ops`` call and one batched Conv
+  (:meth:`~repro.rns.moddown.ModDown.apply_batch`).
+
+Results are bit-identical to looping :meth:`KeySwitcher.switch` over the
+streams, and the kernel counters record exactly the same invocations and
+limb-vectors (via :meth:`~repro.kernels.base.KernelCounter.record_batch`).
+Degenerate batches never stack: an empty batch returns immediately and a
+single stream delegates to the sequential switcher, so no ``(B, dnum, L,
+N)`` temporaries are allocated unless at least two streams fuse.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kernels.base import KernelName
+from ..numtheory.modular import mat_mod_add, mat_mod_mul, mat_mod_reduce
+from ..rns.poly import PolyDomain, RnsPolynomial
+from .context import CkksContext
+from .keys import SwitchKey
+from .keyswitch import KeySwitcher
+
+__all__ = ["BatchedKeySwitcher"]
+
+
+class BatchedKeySwitcher:
+    """Key switching for a whole stream batch as fused launches."""
+
+    def __init__(self, context: CkksContext, *,
+                 key_switcher: Optional[KeySwitcher] = None) -> None:
+        self.context = context
+        #: Sequential switcher: shares its ModUp/ModDown caches with the
+        #: fused path and executes degenerate single-stream batches.
+        self.key_switcher = (key_switcher if key_switcher is not None
+                             else KeySwitcher(context))
+        # Stacked (dnum * L', N) images of each SwitchKeyLevel's (b, a)
+        # pairs, built once per level.  Keyed by object identity; the
+        # stored reference pins the level object so its id cannot be
+        # recycled.  LRU-bounded: each entry duplicates a level's key
+        # residues, and a long-lived context can touch arbitrarily many
+        # (rotation key, level) combinations.
+        self._key_stack_cache = OrderedDict()
+
+    def switch_many(self, polynomials: Sequence[RnsPolynomial],
+                    switch_key: SwitchKey, level: int
+                    ) -> List[Tuple[RnsPolynomial, RnsPolynomial]]:
+        """Key-switch ``B`` coefficient-domain polynomials at ``level``.
+
+        All polynomials must live on the level's active basis (the same
+        precondition :meth:`KeySwitcher.switch` enforces per stream).
+        Returns one ``(c0, c1)`` pair per stream, in order.
+        """
+        polynomials = list(polynomials)
+        if not polynomials:
+            return []
+        if len(polynomials) == 1:
+            # Degenerate batch: no stacked temporaries, same launches as
+            # the sequential path.
+            return [self.key_switcher.switch(polynomials[0], switch_key, level)]
+
+        context = self.context
+        counter = context.kernels.counter
+        active = context.moduli_at_level(level)
+        extended = context.extended_moduli_at_level(level)
+        for polynomial in polynomials:
+            if polynomial.domain != PolyDomain.COEFFICIENT:
+                raise ValueError(
+                    "key switching expects coefficient-domain polynomials")
+            if tuple(polynomial.moduli) != active:
+                raise ValueError(
+                    "polynomial basis does not match the requested level")
+        key_level = switch_key.at_level(level)
+
+        batch = len(polynomials)
+        ring_degree = context.ring_degree
+        ext_count = len(extended)
+        active_index = {q: i for i, q in enumerate(active)}
+        stacked = np.stack([p.residues for p in polynomials])   # (B, L, N)
+
+        # Dcomp + ModUp: one batched Conv per decomposition group.
+        raised_groups = []
+        for group in key_level.group_moduli:
+            rows = [active_index[q] for q in group]
+            modup = self.key_switcher._modup_for(group, extended)
+            counter.record_batch(KernelName.CONV, batch,
+                                 ext_count - len(group))
+            raised_groups.append(
+                modup.apply_batch(np.ascontiguousarray(stacked[:, rows])))
+        dnum = len(raised_groups)
+        raised = np.stack(raised_groups, axis=1)        # (B, dnum, ext, N)
+
+        # NTT: all B * dnum extended slices in one engine call.
+        evals = context.planner.forward_ops(
+            ring_degree, extended,
+            raised.reshape(batch * dnum, ext_count, ring_degree))
+        counter.record_batch(KernelName.NTT, batch * dnum, ext_count)
+
+        # Inner product: one fused Hada-Mult launch per key component,
+        # then an exact modular fold of the dnum axis.
+        ext_column = np.asarray(extended, dtype=np.int64)[:, None]
+        tiled_column = np.tile(ext_column, (batch * dnum, 1))
+        flat_evals = evals.reshape(batch * dnum * ext_count, ring_degree)
+        accumulators = []
+        for key_stack in self._key_stacks(key_level):   # (b_j, a_j) pairs
+            products = mat_mod_mul(
+                flat_evals, np.tile(key_stack, (batch, 1)), tiled_column)
+            counter.record_batch(KernelName.HADAMARD, batch * dnum, ext_count)
+            accumulators.append(self._fold_groups(
+                products.reshape(batch, dnum, ext_count, ring_degree),
+                ext_column))
+            counter.record_batch(KernelName.ELE_ADD, batch * dnum, ext_count)
+
+        # INTT + ModDown: both components of every stream at once.
+        coeff = context.planner.inverse_ops(
+            ring_degree, extended, np.concatenate(accumulators))
+        counter.record_batch(KernelName.INTT, 2 * batch, ext_count)
+        moddown = self.key_switcher._moddown_for(active)
+        counter.record_batch(KernelName.CONV, batch, 2 * len(active))
+        lowered = moddown.apply_batch(coeff)            # (2B, L, N)
+        return [
+            (RnsPolynomial(ring_degree, active, lowered[j]),
+             RnsPolynomial(ring_degree, active, lowered[batch + j]))
+            for j in range(batch)
+        ]
+
+    # ------------------------------------------------------------------
+    #: Most-recently-used switch-key levels whose stacked images are kept.
+    KEY_STACK_CACHE_SIZE = 16
+
+    def _key_stacks(self, key_level) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(dnum * L', N)`` stacks of a level's (b, a) key pairs.
+
+        The switch-key material is constant per level, so the per-group
+        residue matrices are stacked once and reused by every fused
+        inner product instead of being rebuilt per call.  The per-call
+        ``np.tile`` across the batch stays: it is transient, small next
+        to the transform GEMMs, and keeps the funnel operands 2-D (a
+        broadcast view would tie this code to per-backend chunking
+        semantics).
+        """
+        cached = self._key_stack_cache.get(id(key_level))
+        if cached is None:
+            stacks = tuple(
+                np.concatenate(
+                    [pair[component].residues for pair in key_level.pairs])
+                for component in (0, 1)
+            )
+            cached = (key_level, stacks)
+            self._key_stack_cache[id(key_level)] = cached
+            if len(self._key_stack_cache) > self.KEY_STACK_CACHE_SIZE:
+                self._key_stack_cache.popitem(last=False)
+        else:
+            self._key_stack_cache.move_to_end(id(key_level))
+        return cached[1]
+
+    @staticmethod
+    def _fold_groups(products: np.ndarray, ext_column: np.ndarray) -> np.ndarray:
+        """Sum a ``(B, dnum, ext, N)`` product tensor over the dnum axis.
+
+        Each entry is a reduced residue below its row's prime, so the plain
+        int64 sum is exact whenever ``dnum * max(q)`` fits in int64 (always
+        for word-sized primes); the fold then reduces once per row, which
+        equals the sequential chain of Ele-Add launches bit for bit.  The
+        pairwise funnel fallback covers pathological moduli.
+        """
+        batch, dnum, ext_count, ring_degree = products.shape
+        tiled = np.tile(ext_column, (batch, 1))
+        if dnum * int(ext_column.max()) < (1 << 63):
+            summed = products.sum(axis=1, dtype=np.int64)
+            return mat_mod_reduce(
+                summed.reshape(batch * ext_count, ring_degree), tiled
+            ).reshape(batch, ext_count, ring_degree)
+        accumulator = products[:, 0].reshape(batch * ext_count, ring_degree)
+        for j in range(1, dnum):
+            accumulator = mat_mod_add(
+                accumulator,
+                products[:, j].reshape(batch * ext_count, ring_degree), tiled)
+        return accumulator.reshape(batch, ext_count, ring_degree)

@@ -63,11 +63,48 @@ class BasisConverter:
         residues = np.asarray(residues, dtype=np.int64)
         if residues.shape[0] != len(self.source_moduli):
             raise ValueError("residue matrix does not match the source basis")
-        # y_i = [x_i * q_hat_inv_i]_{q_i}; operands stay below 2**31, so the
-        # int64 product cannot overflow.
+        # y_i = [x_i * q_hat_inv_i]_{q_i}; the funnel keeps the product
+        # exact even for moduli at or above 2**31.
         y = mat_mod_mul(residues, self._q_hat_inv_column, self._source_column)
         return modular_matmul_rows(self.q_hat_mod_target, y,
                                    self._target_column[:, 0])
+
+    def convert_residues_batch(self, stacks: np.ndarray) -> np.ndarray:
+        """Convert a ``(B, len(source), N)`` residue stack in fused launches.
+
+        The whole batch shares the precomputed constants: the scaled
+        reduction runs once over the fused ``(B*S, N)`` matrix (per-row
+        moduli tiled per stream) and the row-moduli GEMM folds the batch
+        into its free dimension — ``(T, S) @ (S, B*N)`` — so the Conv of
+        *every* stream is a single backend launch.  Each output stream is
+        bit-identical to :meth:`convert_residues` on the matching slice
+        (both paths reduce fully, and the funnel keeps >= 2**31 moduli
+        exact).
+        """
+        stacks = np.asarray(stacks, dtype=np.int64)
+        if stacks.ndim != 3 or stacks.shape[1] != len(self.source_moduli):
+            raise ValueError(
+                "expected a (B, %d, N) residue stack, got shape %s"
+                % (len(self.source_moduli), stacks.shape)
+            )
+        batch, source_count, n = stacks.shape
+        if batch == 0:
+            return np.zeros((0, len(self.target_moduli), n), dtype=np.int64)
+        if batch == 1:
+            return self.convert_residues(stacks[0])[None]
+        tiled_moduli = np.tile(self._source_column, (batch, 1))
+        tiled_inverses = np.tile(self._q_hat_inv_column, (batch, 1))
+        y = mat_mod_mul(stacks.reshape(batch * source_count, n),
+                        tiled_inverses, tiled_moduli)
+        # (T, S) @ (S, B*N): stream b occupies columns [b*N, (b+1)*N).
+        y_columns = np.ascontiguousarray(
+            y.reshape(batch, source_count, n).transpose(1, 0, 2)
+        ).reshape(source_count, batch * n)
+        converted = modular_matmul_rows(self.q_hat_mod_target, y_columns,
+                                        self._target_column[:, 0])
+        return np.ascontiguousarray(
+            converted.reshape(len(self.target_moduli), batch, n).transpose(1, 0, 2)
+        )
 
     def convert(self, polynomial: RnsPolynomial) -> RnsPolynomial:
         """Convert an :class:`RnsPolynomial` to the target basis.

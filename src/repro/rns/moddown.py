@@ -64,3 +64,34 @@ class ModDown:
         residues = mat_mod_mul(diff, self._p_inverse_column, column)
         return RnsPolynomial(polynomial.ring_degree, self.ciphertext_moduli,
                              residues, PolyDomain.COEFFICIENT)
+
+    def apply_batch(self, stacks: np.ndarray) -> np.ndarray:
+        """ModDown a ``(B, extended, N)`` residue stack to ``(B, active, N)``.
+
+        One batched Conv folds the special limbs of every stream at once
+        and the subtraction / multiply-by-``P^{-1}`` run as single funnel
+        launches over the fused ``(B*active, N)`` matrix, so no per-stream
+        loop remains.  Stream ``b`` of the result is bit-identical to
+        :meth:`apply` on slice ``b`` (the funnel keeps >= 2**31 moduli
+        exact).
+        """
+        stacks = np.asarray(stacks, dtype=np.int64)
+        expected_limbs = len(self.ciphertext_moduli) + len(self.special_moduli)
+        if stacks.ndim != 3 or stacks.shape[1] != expected_limbs:
+            raise ValueError(
+                "expected a (B, %d, N) residue stack, got shape %s"
+                % (expected_limbs, stacks.shape)
+            )
+        batch, _, n = stacks.shape
+        ciphertext_count = len(self.ciphertext_moduli)
+        if batch == 0:
+            return np.zeros((0, ciphertext_count, n), dtype=np.int64)
+        folded = self._converter.convert_residues_batch(
+            np.ascontiguousarray(stacks[:, ciphertext_count:]))
+        tiled_moduli = np.tile(self._ciphertext_column, (batch, 1))
+        tiled_inverses = np.tile(self._p_inverse_column, (batch, 1))
+        diff = mat_mod_sub(
+            stacks[:, :ciphertext_count].reshape(batch * ciphertext_count, n),
+            folded.reshape(batch * ciphertext_count, n), tiled_moduli)
+        residues = mat_mod_mul(diff, tiled_inverses, tiled_moduli)
+        return residues.reshape(batch, ciphertext_count, n)

@@ -63,3 +63,29 @@ class ModUp:
             out[~self._copy_mask] = converted[self._from_missing[~self._copy_mask]]
         return RnsPolynomial(ring_degree, self.target_moduli, out,
                              PolyDomain.COEFFICIENT)
+
+    def apply_batch(self, stacks: np.ndarray) -> np.ndarray:
+        """Raise a ``(B, group, N)`` residue stack to ``(B, target, N)``.
+
+        The copy rows are one batched gather and the missing limbs come
+        from a single batched Conv
+        (:meth:`~repro.rns.conv.BasisConverter.convert_residues_batch`), so
+        the whole stream batch mods up without a per-stream loop.  Stream
+        ``b`` of the result is bit-identical to :meth:`apply` on slice
+        ``b``.
+        """
+        stacks = np.asarray(stacks, dtype=np.int64)
+        if stacks.ndim != 3 or stacks.shape[1] != len(self.group_moduli):
+            raise ValueError(
+                "expected a (B, %d, N) residue stack, got shape %s"
+                % (len(self.group_moduli), stacks.shape)
+            )
+        batch, _, ring_degree = stacks.shape
+        out = np.empty((batch, len(self.target_moduli), ring_degree),
+                       dtype=np.int64)
+        out[:, self._copy_mask] = stacks[:, self._from_group[self._copy_mask]]
+        if self._converter is not None and batch:
+            converted = self._converter.convert_residues_batch(stacks)
+            out[:, ~self._copy_mask] = (
+                converted[:, self._from_missing[~self._copy_mask]])
+        return out

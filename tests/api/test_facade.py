@@ -4,16 +4,14 @@ import numpy as np
 import pytest
 
 from repro.api import TensorFheContext
-from repro.ckks import CkksParameters
 
 TOLERANCE = 2e-3
 
 
 @pytest.fixture(scope="module")
-def fhe() -> TensorFheContext:
-    parameters = CkksParameters(ring_degree=1 << 6, level_count=3, dnum=3,
-                                secret_hamming_weight=8, name="facade")
-    return TensorFheContext(parameters, seed=11, rotation_steps=(1, 2))
+def fhe(toy_fhe) -> TensorFheContext:
+    """The session-scoped facade context (hoisted into tests/conftest.py)."""
+    return toy_fhe
 
 
 class TestFacade:

@@ -19,10 +19,9 @@ BATCH = 5
 
 
 @pytest.fixture(scope="module")
-def fhe() -> TensorFheContext:
-    parameters = CkksParameters(ring_degree=1 << 6, level_count=3, dnum=3,
-                                secret_hamming_weight=8, name="toy-batched")
-    return TensorFheContext(parameters, seed=404)
+def fhe(toy_fhe) -> TensorFheContext:
+    """The session-scoped facade context (hoisted into tests/conftest.py)."""
+    return toy_fhe
 
 
 @pytest.fixture()

@@ -1,0 +1,282 @@
+"""B-fused key switching: bit-parity, counter invariance, fewer launches.
+
+The fused HMULT / rotation / conjugation paths must be *bit-identical* to
+looping the sequential :class:`~repro.ckks.evaluator.Evaluator` over the
+streams, with the kernel counters recording exactly the same invocations
+and limb-vectors — while issuing strictly fewer NTT-planner launches.  The
+suite sweeps every available compute backend and B ∈ {1, 2, 8}, plus mixed
+levels and the degenerate-batch guarantees (no stacked temporaries for
+B == 1, no extra keys for zero-step rotations).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends, use_backend
+from repro.rns.modup import ModUp
+
+BATCH_SIZES = (1, 2, 8)
+
+
+@pytest.fixture(scope="module")
+def fhe(toy_fhe):
+    return toy_fhe
+
+
+def encrypt_streams(fhe, rng, count):
+    return [fhe.encrypt(rng.uniform(-1, 1, fhe.slot_count))
+            for _ in range(count)]
+
+
+def assert_same_ciphertext(actual, expected):
+    assert np.array_equal(actual.c0.residues, expected.c0.residues)
+    assert np.array_equal(actual.c1.residues, expected.c1.residues)
+    assert actual.scale == expected.scale
+    assert actual.level == expected.level
+    assert actual.c0.domain == expected.c0.domain
+    assert actual.c1.domain == expected.c1.domain
+
+
+def run_both(fhe, sequential, batched):
+    """Run both execution models under fresh counters; compare everything."""
+    kernels = fhe.context.kernels
+    with kernels.capture() as sequential_counts:
+        expected = sequential()
+    with kernels.capture() as batched_counts:
+        actual = batched()
+    assert len(actual) == len(expected)
+    for got, want in zip(actual, expected):
+        assert_same_ciphertext(got, want)
+    assert batched_counts.snapshot() == sequential_counts.snapshot()
+    assert dict(batched_counts.limb_vectors) == dict(sequential_counts.limb_vectors)
+    return actual
+
+
+class PlannerSpy:
+    """Counts NTT-planner launches (the engine-call count fusion reduces)."""
+
+    METHODS = ("forward_limbs", "inverse_limbs", "forward_ops", "inverse_ops")
+
+    def __init__(self, monkeypatch, planner):
+        self.calls = 0
+        for name in self.METHODS:
+            original = getattr(planner, name)
+
+            def spying(*args, _original=original, **kwargs):
+                self.calls += 1
+                return _original(*args, **kwargs)
+
+            monkeypatch.setattr(planner, name, spying)
+
+    def take(self):
+        calls, self.calls = self.calls, 0
+        return calls
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+class TestFusedParity:
+    def test_multiply(self, fhe, rng, backend, batch):
+        lhs = encrypt_streams(fhe, rng, batch)
+        rhs = encrypt_streams(fhe, rng, batch)
+        key = fhe.relinearization_key
+        with use_backend(backend):
+            run_both(
+                fhe,
+                lambda: [fhe.evaluator.multiply(l, r, key)
+                         for l, r in zip(lhs, rhs)],
+                lambda: fhe.batched_evaluator.multiply(lhs, rhs, key),
+            )
+
+    def test_rotate(self, fhe, rng, backend, batch):
+        streams = encrypt_streams(fhe, rng, batch)
+        with use_backend(backend):
+            run_both(
+                fhe,
+                lambda: [fhe.evaluator.rotate(c, 3, fhe.rotation_keys)
+                         for c in streams],
+                lambda: fhe.batched_evaluator.rotate(streams, 3,
+                                                     fhe.rotation_keys),
+            )
+
+    def test_conjugate(self, fhe, rng, backend, batch):
+        streams = encrypt_streams(fhe, rng, batch)
+        with use_backend(backend):
+            run_both(
+                fhe,
+                lambda: [fhe.evaluator.conjugate(c, fhe.rotation_keys)
+                         for c in streams],
+                lambda: fhe.batched_evaluator.conjugate(streams,
+                                                        fhe.rotation_keys),
+            )
+
+
+class TestBookkeeping:
+    def test_multiply_mixed_levels(self, fhe, rng):
+        """Streams at different levels fuse per prime chain, same results."""
+        lhs = encrypt_streams(fhe, rng, 4)
+        rhs = encrypt_streams(fhe, rng, 4)
+        mixed = ([fhe.evaluator.drop_to_level(r, 1) for r in rhs[:2]]
+                 + list(rhs[2:]))
+        key = fhe.relinearization_key
+        run_both(
+            fhe,
+            lambda: [fhe.evaluator.multiply(l, r, key)
+                     for l, r in zip(lhs, mixed)],
+            lambda: fhe.batched_evaluator.multiply(lhs, mixed, key),
+        )
+
+    def test_rotate_mixed_levels(self, fhe, rng):
+        streams = encrypt_streams(fhe, rng, 4)
+        mixed = ([fhe.evaluator.drop_to_level(c, 1) for c in streams[:2]]
+                 + list(streams[2:]))
+        run_both(
+            fhe,
+            lambda: [fhe.evaluator.rotate(c, 1, fhe.rotation_keys)
+                     for c in mixed],
+            lambda: fhe.batched_evaluator.rotate(mixed, 1, fhe.rotation_keys),
+        )
+
+    def test_multiply_decrypts_correctly(self, fhe, rng):
+        lhs = encrypt_streams(fhe, rng, 3)
+        rhs = encrypt_streams(fhe, rng, 3)
+        products = fhe.multiply_many(lhs, rhs)
+        for l, r, p in zip(lhs, rhs, products):
+            reference = fhe.decrypt_real(l) * fhe.decrypt_real(r)
+            assert np.allclose(fhe.decrypt_real(p), reference, atol=1e-2)
+
+    def test_rotate_many_per_stream_steps(self, fhe, rng):
+        streams = encrypt_streams(fhe, rng, 4)
+        steps = [1, 3, 0, 3]
+        expected = [fhe.evaluator.rotate(c, s, fhe.rotation_keys)
+                    for c, s in zip(streams, steps)]
+        for got, want in zip(fhe.rotate_many(streams, steps), expected):
+            assert_same_ciphertext(got, want)
+
+    def test_rotate_many_shared_step_decrypts(self, fhe, rng):
+        values = [rng.uniform(-1, 1, fhe.slot_count) for _ in range(3)]
+        streams = [fhe.encrypt(v) for v in values]
+        for got, want in zip(fhe.rotate_many(streams, 2), values):
+            assert np.allclose(fhe.decrypt_real(got), np.roll(want, -2),
+                               atol=2e-3)
+
+    def test_conjugate_many_decrypts(self, fhe, rng):
+        values = [rng.uniform(-1, 1, fhe.slot_count)
+                  + 1j * rng.uniform(-1, 1, fhe.slot_count) for _ in range(3)]
+        streams = [fhe.encrypt(v) for v in values]
+        for got, want in zip(fhe.conjugate_many(streams), values):
+            assert np.allclose(fhe.decrypt(got), np.conj(want), atol=2e-3)
+
+    def test_rotate_many_length_mismatch_rejected(self, fhe, rng):
+        streams = encrypt_streams(fhe, rng, 2)
+        with pytest.raises(ValueError, match="one step count"):
+            fhe.rotate_many(streams, [1])
+
+    def test_switch_many_rejects_wrong_domain(self, fhe, rng):
+        from repro.kernels import ops as kernel_ops
+
+        ciphertext = encrypt_streams(fhe, rng, 2)[0]
+        eval_poly = kernel_ops.ntt(fhe.context.kernels, ciphertext.c1)
+        switcher = fhe.batched_evaluator.key_switcher
+        with pytest.raises(ValueError, match="coefficient-domain"):
+            switcher.switch_many([eval_poly, eval_poly],
+                                 fhe.relinearization_key,
+                                 ciphertext.level)
+
+    def test_switch_many_rejects_wrong_basis(self, fhe, rng):
+        ciphertext = encrypt_streams(fhe, rng, 1)[0]
+        switcher = fhe.batched_evaluator.key_switcher
+        with pytest.raises(ValueError, match="basis"):
+            switcher.switch_many([ciphertext.c1, ciphertext.c1],
+                                 fhe.relinearization_key,
+                                 ciphertext.level - 1)
+
+
+class TestLaunchCounts:
+    def test_fused_multiply_issues_fewer_planner_calls(self, fhe, rng,
+                                                       monkeypatch):
+        lhs = encrypt_streams(fhe, rng, 4)
+        rhs = encrypt_streams(fhe, rng, 4)
+        key = fhe.relinearization_key
+        spy = PlannerSpy(monkeypatch, fhe.context.planner)
+        [fhe.evaluator.multiply(l, r, key) for l, r in zip(lhs, rhs)]
+        sequential_calls = spy.take()
+        fhe.batched_evaluator.multiply(lhs, rhs, key)
+        fused_calls = spy.take()
+        # 4 streams: sequential pays 4 transforms + per-stream key-switch
+        # launches; fused pays 2 HMULT launches + 2 key-switch launches.
+        assert fused_calls < sequential_calls
+        assert fused_calls == 4
+
+    def test_fused_rotate_issues_fewer_planner_calls(self, fhe, rng,
+                                                     monkeypatch):
+        streams = encrypt_streams(fhe, rng, 4)
+        spy = PlannerSpy(monkeypatch, fhe.context.planner)
+        [fhe.evaluator.rotate(c, 1, fhe.rotation_keys) for c in streams]
+        sequential_calls = spy.take()
+        fhe.batched_evaluator.rotate(streams, 1, fhe.rotation_keys)
+        fused_calls = spy.take()
+        assert fused_calls < sequential_calls
+        assert fused_calls == 2          # one forward_ops + one inverse_ops
+
+
+class TestDegenerateBatches:
+    def test_empty_batches(self, fhe):
+        key = fhe.relinearization_key
+        assert fhe.batched_evaluator.multiply([], [], key) == []
+        assert fhe.batched_evaluator.rotate([], 1, fhe.rotation_keys) == []
+        assert fhe.batched_evaluator.conjugate([], fhe.rotation_keys) == []
+        assert fhe.batched_evaluator.key_switcher.switch_many(
+            [], key, fhe.context.max_level) == []
+        assert fhe.rotate_many([], 1) == []
+        assert fhe.conjugate_many([]) == []
+
+    def test_empty_batches_never_resolve_keys(self, fhe):
+        """Zero streams return [] even when the needed key is missing,
+        matching the sequential loop (which never touches the key set).
+
+        Uses a locally constructed empty key set — not the shared
+        session context's — so no other module's key generation can
+        disturb the precondition.
+        """
+        from repro.ckks import RotationKeySet
+
+        empty_keys = RotationKeySet()
+        assert fhe.batched_evaluator.rotate([], 7, empty_keys) == []
+        assert fhe.batched_evaluator.conjugate([], empty_keys) == []
+
+    def test_single_stream_takes_sequential_switch(self, fhe, rng,
+                                                   monkeypatch):
+        """B == 1 must not stack (B, dnum, L, N) temporaries."""
+        ciphertext = encrypt_streams(fhe, rng, 1)[0]
+        switcher = fhe.batched_evaluator.key_switcher
+        sequential_calls = []
+        original = switcher.key_switcher.switch
+
+        def spying_switch(*args, **kwargs):
+            sequential_calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(switcher.key_switcher, "switch", spying_switch)
+
+        def no_batch(self, stacks):   # pragma: no cover - must not run
+            raise AssertionError("B==1 must not reach the batched ModUp")
+
+        monkeypatch.setattr(ModUp, "apply_batch", no_batch)
+        result = switcher.switch_many([ciphertext.c1],
+                                      fhe.relinearization_key,
+                                      ciphertext.level)
+        assert len(result) == 1
+        assert len(sequential_calls) == 1
+
+    def test_zero_step_rotation_copies_without_keys(self, fhe, rng):
+        streams = encrypt_streams(fhe, rng, 2)
+        known_steps = set(fhe.rotation_keys.keys)
+        kernels = fhe.context.kernels
+        with kernels.capture() as counts:
+            rotated = fhe.rotate_many(streams, 0)
+        assert counts.snapshot() == {}
+        assert set(fhe.rotation_keys.keys) == known_steps
+        for got, want in zip(rotated, streams):
+            assert_same_ciphertext(got, want)
+            assert got.c0.residues is not want.c0.residues

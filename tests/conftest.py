@@ -5,6 +5,11 @@ so the contexts are session-scoped and shared across test modules.  All
 functional CKKS tests run at reduced ring degree — the algorithms are
 degree-agnostic, which is exactly what lets a pure-Python reproduction
 validate them.
+
+``toy_fhe`` is the facade-level sibling of the bundles: one session-scoped
+:class:`~repro.api.TensorFheContext` (full key material including rotation
+and conjugation keys) shared by the api and batched-evaluation suites,
+which previously each built their own module-scoped instance.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.api import TensorFheContext
 from repro.ckks import (
     CkksContext,
     CkksParameters,
@@ -48,10 +54,16 @@ class CkksBundle:
 
 @pytest.fixture(scope="session")
 def toy_bundle() -> CkksBundle:
-    """N=64, 3 levels — the fastest functional instance."""
+    """N=64, 3 levels — the fastest functional instance.
+
+    The rotation steps cover every power of two below the slot count so
+    ``rotate_and_sum`` over all 32 slots works regardless of which test
+    runs first (step 16 used to exist only because an earlier module
+    happened to generate it on the shared bundle).
+    """
     parameters = CkksParameters(ring_degree=1 << 6, level_count=3, dnum=3,
                                 secret_hamming_weight=8, name="toy")
-    return CkksBundle(parameters, seed=101, rotation_steps=(1, 2, 4, 8))
+    return CkksBundle(parameters, seed=101, rotation_steps=(1, 2, 4, 8, 16))
 
 
 @pytest.fixture(scope="session")
@@ -68,6 +80,14 @@ def deep_bundle() -> CkksBundle:
     parameters = CkksParameters(ring_degree=1 << 6, level_count=8, dnum=4,
                                 secret_hamming_weight=8, name="deep")
     return CkksBundle(parameters, seed=303, rotation_steps=(1, 2, 4, 8))
+
+
+@pytest.fixture(scope="session")
+def toy_fhe() -> TensorFheContext:
+    """N=64, 3 levels, full facade — shared across the api/ckks suites."""
+    parameters = CkksParameters(ring_degree=1 << 6, level_count=3, dnum=3,
+                                secret_hamming_weight=8, name="toy-facade")
+    return TensorFheContext(parameters, seed=404, rotation_steps=(1, 2, 3))
 
 
 @pytest.fixture()

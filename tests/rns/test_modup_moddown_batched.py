@@ -1,0 +1,148 @@
+"""Batched ModUp / ModDown / Conv parity against the per-stream path.
+
+Every ``(B, …)`` entry point must be bit-identical to looping its
+per-stream sibling over the batch.  The suite includes a prime chain at
+and above 2**32, where a single residue product overflows int64: the
+mat-mod funnel must route those launches through the exact object-dtype
+path (the regression class fixed twice already, in PRs 2 and 3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.numtheory import generate_ntt_primes
+from repro.rns import BasisConverter, ModDown, ModUp, RnsPolynomial
+
+RING_DEGREE = 32
+BATCH_SIZES = (1, 2, 5)
+
+#: 24-bit chain: every product fits int64, the fast backend paths apply.
+SMALL_PRIMES = tuple(generate_ntt_primes(6, 24, RING_DEGREE))
+#: 33-bit chain: residue products overflow int64, pinning the exact
+#: object-dtype funnel fallback.
+WIDE_PRIMES = tuple(generate_ntt_primes(6, 33, RING_DEGREE))
+
+CHAINS = {"small": SMALL_PRIMES, "wide": WIDE_PRIMES}
+
+
+def random_stack(rng, moduli, batch):
+    return np.stack([
+        np.stack([rng.integers(0, q, RING_DEGREE, dtype=np.int64)
+                  for q in moduli])
+        for _ in range(batch)
+    ])
+
+
+def as_poly(moduli, residues):
+    return RnsPolynomial(RING_DEGREE, moduli, residues)
+
+
+@pytest.mark.parametrize("chain", sorted(CHAINS))
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+class TestBatchedParity:
+    def test_convert_residues_batch(self, rng, chain, batch):
+        primes = CHAINS[chain]
+        source, target = primes[:3], primes[3:]
+        converter = BasisConverter(source, target)
+        stacks = random_stack(rng, source, batch)
+        fused = converter.convert_residues_batch(stacks)
+        assert fused.shape == (batch, len(target), RING_DEGREE)
+        for b in range(batch):
+            assert np.array_equal(fused[b],
+                                  converter.convert_residues(stacks[b]))
+
+    def test_modup_batch(self, rng, chain, batch):
+        primes = CHAINS[chain]
+        group, extended = primes[:2], primes[:4] + primes[4:]
+        modup = ModUp(group, extended)
+        stacks = random_stack(rng, group, batch)
+        fused = modup.apply_batch(stacks)
+        assert fused.shape == (batch, len(extended), RING_DEGREE)
+        for b in range(batch):
+            expected = modup.apply(as_poly(group, stacks[b]))
+            assert np.array_equal(fused[b], expected.residues)
+
+    def test_moddown_batch(self, rng, chain, batch):
+        primes = CHAINS[chain]
+        active, special = primes[:4], primes[4:]
+        moddown = ModDown(active, special)
+        stacks = random_stack(rng, active + special, batch)
+        fused = moddown.apply_batch(stacks)
+        assert fused.shape == (batch, len(active), RING_DEGREE)
+        for b in range(batch):
+            expected = moddown.apply(as_poly(active + special, stacks[b]))
+            assert np.array_equal(fused[b], expected.residues)
+
+
+class TestExactness:
+    def test_wide_chain_exceeds_int64_products(self):
+        """The wide chain really is the overflow regime being pinned."""
+        assert min(WIDE_PRIMES) >= 1 << 32
+        assert min(WIDE_PRIMES) ** 2 >= 1 << 63
+
+    def test_wide_conv_matches_bigint_reference(self, rng):
+        """Batched Conv equals the arbitrary-precision formula exactly."""
+        source, target = WIDE_PRIMES[:3], WIDE_PRIMES[3:5]
+        converter = BasisConverter(source, target)
+        stacks = random_stack(rng, source, 2)
+        fused = converter.convert_residues_batch(stacks)
+        for b in range(2):
+            for n in range(RING_DEGREE):
+                y = [(int(stacks[b, i, n]) * converter.q_hat_inv[i]) % q
+                     for i, q in enumerate(source)]
+                for j, p in enumerate(target):
+                    reference = sum(
+                        y_i * (h % p) for y_i, h in zip(y, converter.q_hat)
+                    ) % p
+                    assert int(fused[b, j, n]) == reference
+
+    def test_wide_moddown_divides_exactly(self):
+        """ModDown on a wide chain still computes round(x / P) in batch."""
+        active, special = WIDE_PRIMES[:2], WIDE_PRIMES[2:4]
+        moddown = ModDown(active, special)
+        special_product = moddown.special_product
+        values = [special_product * v for v in range(-8, RING_DEGREE - 8)]
+        poly = RnsPolynomial.from_integers(values, active + special)
+        fused = moddown.apply_batch(
+            np.stack([poly.residues, poly.residues]))
+        for b in range(2):
+            lowered = RnsPolynomial(RING_DEGREE, active, fused[b])
+            assert lowered.to_integers() == list(range(-8, RING_DEGREE - 8))
+
+
+class TestShapes:
+    def test_empty_batches(self):
+        source, target = SMALL_PRIMES[:2], SMALL_PRIMES[2:4]
+        converter = BasisConverter(source, target)
+        empty = np.zeros((0, 2, RING_DEGREE), dtype=np.int64)
+        assert converter.convert_residues_batch(empty).shape == (
+            0, 2, RING_DEGREE)
+        modup = ModUp(source, source + target)
+        assert modup.apply_batch(empty).shape == (0, 4, RING_DEGREE)
+        moddown = ModDown(source, target)
+        empty_extended = np.zeros((0, 4, RING_DEGREE), dtype=np.int64)
+        assert moddown.apply_batch(empty_extended).shape == (
+            0, 2, RING_DEGREE)
+
+    def test_wrong_shapes_rejected(self, rng):
+        source, target = SMALL_PRIMES[:2], SMALL_PRIMES[2:4]
+        converter = BasisConverter(source, target)
+        with pytest.raises(ValueError, match="residue stack"):
+            converter.convert_residues_batch(
+                np.zeros((2, 3, RING_DEGREE), dtype=np.int64))
+        with pytest.raises(ValueError, match="residue stack"):
+            ModUp(source, source + target).apply_batch(
+                np.zeros((4, RING_DEGREE), dtype=np.int64))
+        with pytest.raises(ValueError, match="residue stack"):
+            ModDown(source, target).apply_batch(
+                np.zeros((2, 3, RING_DEGREE), dtype=np.int64))
+
+    def test_modup_single_stream_matches_apply(self, rng):
+        """B == 1 short-circuits through the per-stream Conv yet stays exact."""
+        source = SMALL_PRIMES[:2]
+        extended = SMALL_PRIMES[:4]
+        modup = ModUp(source, extended)
+        stack = random_stack(rng, source, 1)
+        fused = modup.apply_batch(stack)
+        expected = modup.apply(as_poly(source, stack[0]))
+        assert np.array_equal(fused[0], expected.residues)
