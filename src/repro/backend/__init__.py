@@ -1,8 +1,10 @@
 """Pluggable compute backends for the batched modular-GEMM substrate.
 
-See :mod:`repro.backend.base` for the interface contract and
+See :mod:`repro.backend.base` for the interface contract,
 :mod:`repro.backend.registry` for runtime selection (``REPRO_BACKEND`` env
-var, ``set_active_backend`` or explicit ``backend=`` arguments).
+var, ``set_active_backend`` or explicit ``backend=`` arguments) and
+:mod:`repro.backend.residency` for the :class:`DeviceBuffer` handles that
+keep operands backend-native across kernel launches.
 """
 
 from .base import ArrayBackend
@@ -10,6 +12,15 @@ from .blas_backend import BlasFloat64Backend, FloatOperandCache
 from .cupy_backend import CupyBackend
 from .multiprocess_backend import MultiprocessBackend
 from .numpy_backend import NumpyBackend, max_safe_chunk
+from .residency import (
+    DEVICE_TO_HOST,
+    HOST_TO_DEVICE,
+    DeviceBuffer,
+    as_buffer,
+    as_ndarray,
+    is_buffer,
+    track_transfers,
+)
 from .registry import (
     BACKEND_ENV_VAR,
     DEFAULT_BACKEND,
@@ -33,6 +44,13 @@ __all__ = [
     "CupyBackend",
     "FloatOperandCache",
     "max_safe_chunk",
+    "DeviceBuffer",
+    "HOST_TO_DEVICE",
+    "DEVICE_TO_HOST",
+    "is_buffer",
+    "as_buffer",
+    "as_ndarray",
+    "track_transfers",
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
     "register_backend",

@@ -19,13 +19,24 @@ Implementations registered with :mod:`repro.backend.registry`:
 
 Contract
 --------
-Every method receives ``numpy.int64`` arrays whose entries are already
-reduced modulo their (row's) modulus, with every modulus below ``2**31`` so
-a product of two residues fits in int64; the oversized-moduli object-dtype
-fallbacks stay in the dispatching funnels (:mod:`repro.ntt.gemm_utils`,
-:mod:`repro.numtheory.modular`).  Methods return reduced int64 arrays.
-Device-resident backends convert at the boundary via :meth:`to_device` /
-:meth:`from_device`.
+Every host-level method receives ``numpy.int64`` arrays whose entries are
+already reduced modulo their (row's) modulus, with every modulus below
+``2**31`` so a product of two residues fits in int64; the oversized-moduli
+object-dtype fallbacks stay in the dispatching funnels
+(:mod:`repro.ntt.gemm_utils`, :mod:`repro.numtheory.modular`).  Methods
+return reduced int64 arrays.
+
+Residency
+---------
+Each host kernel has a ``*_native`` variant that accepts and returns
+:class:`~repro.backend.residency.DeviceBuffer` handles.  The defaults here
+unwrap to host (an identity for CPU backends, a *counted* transfer for
+device backends) and re-wrap the host result, so every backend is
+residency-correct out of the box; device backends override them to operate
+on their native arrays directly, which is what keeps a fused kernel chain
+on the accelerator with zero intermediate host copies.  The ``nat_*``
+helpers are the small view/layout algebra the residency layer needs on
+native arrays (device-side views — no copies).
 """
 
 from __future__ import annotations
@@ -35,6 +46,8 @@ from typing import Optional
 
 import numpy as np
 
+from .residency import DeviceBuffer
+
 __all__ = ["ArrayBackend"]
 
 
@@ -43,6 +56,12 @@ class ArrayBackend(abc.ABC):
 
     #: Registry identifier (also what ``REPRO_BACKEND`` selects).
     name = "abstract"
+
+    #: Whether this backend's native storage *is* host numpy memory.  CPU
+    #: backends keep True: residency is the identity for them and the
+    #: transfer counters never tick.  Accelerator backends (torch, cupy)
+    #: set False so every host↔device crossing is counted.
+    device_is_host = True
 
     @classmethod
     def is_available(cls) -> bool:
@@ -137,6 +156,102 @@ class ArrayBackend(abc.ABC):
     @abc.abstractmethod
     def mat_mul(self, a: np.ndarray, b: np.ndarray, moduli: np.ndarray) -> np.ndarray:
         """Row-wise ``(a * b) mod moduli`` (Hada-Mult on matrices)."""
+
+    # ------------------------------------------------------------------
+    # Residency-aware variants: DeviceBuffer in, DeviceBuffer out.
+    #
+    # Defaults route through the host kernels.  ``ensure_host`` is free on
+    # CPU backends (identity residency) and a *counted* D2H transfer on
+    # device backends, so an unported backend stays correct while the
+    # transfer counters expose exactly where it leaves the device.
+    # ------------------------------------------------------------------
+    def matmul_limbs_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
+                            moduli: np.ndarray, *,
+                            lhs_cache: Optional[object] = None,
+                            rhs_cache: Optional[object] = None) -> DeviceBuffer:
+        """Residency-aware :meth:`matmul_limbs` (handles in and out)."""
+        out = self.matmul_limbs(lhs.ensure_host(), rhs.ensure_host(), moduli,
+                                lhs_cache=lhs_cache, rhs_cache=rhs_cache)
+        return DeviceBuffer.wrap(out)
+
+    def matmul_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
+                      modulus: int) -> DeviceBuffer:
+        """Residency-aware :meth:`matmul`."""
+        return DeviceBuffer.wrap(
+            self.matmul(lhs.ensure_host(), rhs.ensure_host(), modulus))
+
+    def matmul_rows_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
+                           row_moduli: np.ndarray, *,
+                           operand_bound: Optional[int] = None) -> DeviceBuffer:
+        """Residency-aware :meth:`matmul_rows`."""
+        return DeviceBuffer.wrap(
+            self.matmul_rows(lhs.ensure_host(), rhs.ensure_host(), row_moduli,
+                             operand_bound=operand_bound))
+
+    def hadamard_limbs_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
+                              moduli: np.ndarray) -> DeviceBuffer:
+        """Residency-aware :meth:`hadamard_limbs`."""
+        return DeviceBuffer.wrap(
+            self.hadamard_limbs(lhs.ensure_host(), rhs.ensure_host(), moduli))
+
+    def hadamard_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
+                        modulus: int) -> DeviceBuffer:
+        """Residency-aware :meth:`hadamard`."""
+        return DeviceBuffer.wrap(
+            self.hadamard(lhs.ensure_host(), rhs.ensure_host(), modulus))
+
+    def mat_reduce_native(self, matrix: DeviceBuffer,
+                          moduli: np.ndarray) -> DeviceBuffer:
+        """Residency-aware :meth:`mat_reduce`."""
+        return DeviceBuffer.wrap(self.mat_reduce(matrix.ensure_host(), moduli))
+
+    def mat_add_native(self, a: DeviceBuffer, b: DeviceBuffer,
+                       moduli: np.ndarray) -> DeviceBuffer:
+        """Residency-aware :meth:`mat_add`."""
+        return DeviceBuffer.wrap(
+            self.mat_add(a.ensure_host(), b.ensure_host(), moduli))
+
+    def mat_sub_native(self, a: DeviceBuffer, b: DeviceBuffer,
+                       moduli: np.ndarray) -> DeviceBuffer:
+        """Residency-aware :meth:`mat_sub`."""
+        return DeviceBuffer.wrap(
+            self.mat_sub(a.ensure_host(), b.ensure_host(), moduli))
+
+    def mat_neg_native(self, a: DeviceBuffer, moduli: np.ndarray) -> DeviceBuffer:
+        """Residency-aware :meth:`mat_neg`."""
+        return DeviceBuffer.wrap(self.mat_neg(a.ensure_host(), moduli))
+
+    def mat_mul_native(self, a: DeviceBuffer, b: DeviceBuffer,
+                       moduli: np.ndarray) -> DeviceBuffer:
+        """Residency-aware :meth:`mat_mul`."""
+        return DeviceBuffer.wrap(
+            self.mat_mul(a.ensure_host(), b.ensure_host(), moduli))
+
+    # ------------------------------------------------------------------
+    # Native view/layout algebra (device-side views, never copies back).
+    # Numpy semantics by default — correct for every numpy-like native
+    # array type; torch overrides the two calls whose names differ.
+    # ------------------------------------------------------------------
+    def nat_reshape(self, array, shape):
+        return array.reshape(shape)
+
+    def nat_transpose(self, array, axes):
+        return array.transpose(axes)
+
+    def nat_getitem(self, array, key):
+        return array[key]
+
+    def nat_contiguous(self, array):
+        return np.ascontiguousarray(array)
+
+    def nat_copy(self, array):
+        return array.copy()
+
+    def nat_stack(self, arrays, axis: int = 0):
+        return np.stack(arrays, axis=axis)
+
+    def nat_concat(self, arrays, axis: int = 0):
+        return np.concatenate(arrays, axis=axis)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "%s(name=%r)" % (type(self).__name__, self.name)

@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from .numpy_backend import NumpyBackend, max_safe_chunk
+from .residency import DeviceBuffer
 
 __all__ = ["CupyBackend"]
 
@@ -26,9 +27,17 @@ except ImportError:  # pragma: no cover
 
 
 class CupyBackend(NumpyBackend):
-    """Batched modular GEMMs on cupy int64 device arrays."""
+    """Batched modular GEMMs on cupy int64 device arrays.
+
+    Residency: ``device_is_host = False`` — native storage is a cupy
+    device array, every host crossing is counted, and the batched-GEMM
+    ``*_native`` variant keeps operands and results on the GPU (cupy's
+    numpy-compatible view algebra means the inherited ``nat_*`` helpers
+    work unchanged on device arrays).
+    """
 
     name = "cupy"
+    device_is_host = False
 
     def __init__(self) -> None:
         if cupy is None:
@@ -50,24 +59,50 @@ class CupyBackend(NumpyBackend):
     def synchronize(self) -> None:  # pragma: no cover - CUDA only
         cupy.cuda.get_current_stream().synchronize()
 
+    def nat_contiguous(self, array):  # pragma: no cover - needs cupy
+        return cupy.ascontiguousarray(array)
+
+    def nat_stack(self, arrays, axis: int = 0):  # pragma: no cover - needs cupy
+        return cupy.stack(list(arrays), axis=axis)
+
+    def nat_concat(self, arrays, axis: int = 0):  # pragma: no cover - needs cupy
+        return cupy.concatenate(list(arrays), axis=axis)
+
     # ------------------------------------------------------------------
+    def _matmul_limbs_d(self, lhs_d, rhs_d, moduli):  # pragma: no cover - needs cupy
+        column = self.to_device(np.asarray(moduli, dtype=np.int64)).reshape(-1, 1, 1)
+        inner = lhs_d.shape[2]
+        chunk = max_safe_chunk(int(np.asarray(moduli).max()))
+        if chunk >= inner:
+            return cupy.matmul(lhs_d, rhs_d) % column
+        out = cupy.zeros((lhs_d.shape[0], lhs_d.shape[1], rhs_d.shape[2]),
+                         dtype=cupy.int64)
+        for start in range(0, inner, chunk):
+            stop = min(start + chunk, inner)
+            partial = cupy.matmul(lhs_d[:, :, start:stop],
+                                  rhs_d[:, start:stop, :]) % column
+            out = (out + partial) % column
+        return out
+
     def matmul_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
                      moduli: np.ndarray, *,
                      lhs_cache: Optional[object] = None,
-                     rhs_cache: Optional[object] = None) -> np.ndarray:
-        lhs_d = self.to_device(lhs)
-        rhs_d = self.to_device(rhs)
-        column = self.to_device(np.asarray(moduli, dtype=np.int64)).reshape(-1, 1, 1)
-        inner = lhs.shape[2]
-        chunk = max_safe_chunk(int(np.asarray(moduli).max()))
-        if chunk >= inner:
-            out = cupy.matmul(lhs_d, rhs_d) % column
-        else:
-            out = cupy.zeros((lhs.shape[0], lhs.shape[1], rhs.shape[2]),
-                             dtype=cupy.int64)
-            for start in range(0, inner, chunk):
-                stop = min(start + chunk, inner)
-                partial = cupy.matmul(lhs_d[:, :, start:stop],
-                                      rhs_d[:, start:stop, :]) % column
-                out = (out + partial) % column
+                     rhs_cache: Optional[object] = None) -> np.ndarray:  # pragma: no cover
+        out = self._matmul_limbs_d(self.to_device(lhs), self.to_device(rhs), moduli)
         return self.from_device(out)
+
+    def matmul_limbs_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
+                            moduli: np.ndarray, *,
+                            lhs_cache: Optional[object] = None,
+                            rhs_cache: Optional[object] = None) -> DeviceBuffer:  # pragma: no cover
+        out = self._matmul_limbs_d(lhs.ensure_device(self),
+                                   rhs.ensure_device(self), moduli)
+        return DeviceBuffer.from_native(out, self)
+
+    def hadamard_limbs_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
+                              moduli: np.ndarray) -> DeviceBuffer:  # pragma: no cover
+        lhs_d = lhs.ensure_device(self)
+        column = self.to_device(np.asarray(moduli, dtype=np.int64).reshape(-1))
+        column = column.reshape((column.shape[0],) + (1,) * (lhs_d.ndim - 1))
+        out = (lhs_d * rhs.ensure_device(self)) % column
+        return DeviceBuffer.from_native(out, self)

@@ -3,8 +3,22 @@
 A thin proof of the backend seam: the same chunked-exact modular GEMMs,
 lowered to torch tensors.  CPU torch is enough to exercise the whole CKKS
 stack through it (that is what CI does when torch is installed); on a CUDA
-build, passing ``device="cuda"`` stages the operands on the GPU, which is
-the first step toward the paper's actual execution model.
+build, passing ``device="cuda"`` stages the operands on the GPU.
+
+Residency: the backend is ``device_is_host = False`` — its native storage
+is a ``torch.Tensor`` — so :class:`~repro.backend.residency.DeviceBuffer`
+handles keep tensors live across launches and every numpy↔tensor crossing
+is counted by the transfer instrumentation.  The ``*_native`` overrides
+below run entirely on tensors: a fused chain of funnel calls through
+handles performs zero intermediate conversions.
+
+Float64-split fallback: consumer GPUs (and several mobile-class devices)
+have no int64 matmul.  When the probe detects that — or ``use_float64``
+forces it — the batched GEMM lowers to float64 matmuls guarded by the same
+``2**53`` exactness bound as the blas backend: a single pass for small
+primes, a hi/lo split of the lhs operand for primes up to ~27+ bits, and
+the exact chunked-int64 path (or host numpy) when even the split would be
+inexact.
 
 The backend registers unconditionally but reports itself unavailable when
 ``import torch`` fails, so the library keeps zero hard dependencies.
@@ -16,7 +30,9 @@ from typing import Optional
 
 import numpy as np
 
+from .blas_backend import FLOAT_EXACT_LIMIT
 from .numpy_backend import NumpyBackend, max_safe_chunk
+from .residency import DeviceBuffer
 
 __all__ = ["TorchBackend"]
 
@@ -29,27 +45,49 @@ except ImportError:  # pragma: no cover
 class TorchBackend(NumpyBackend):
     """Batched modular GEMMs on torch int64 tensors (CPU by default).
 
-    Element-wise mat-mod kernels are memory-bound and stay on the inherited
-    numpy implementations; only the GEMM launches are lowered to torch.
+    ``use_float64=True`` forces the float64-split GEMM path (the default
+    is a probe: int64 matmul support is detected per device).  Element-wise
+    mat-mod kernels run on torch tensors in the ``*_native`` variants and
+    on the inherited numpy implementations at the host level.
     """
 
     name = "torch"
+    device_is_host = False
 
-    def __init__(self, device: str = "cpu") -> None:
+    def __init__(self, device: str = "cpu", *,
+                 use_float64: Optional[bool] = None) -> None:
         if torch is None:
             raise RuntimeError("torch is not installed; TorchBackend is unavailable")
         self.device = torch.device(device)
+        #: Whether this device can run int64 matmul at all (CUDA often
+        #: cannot).  Distinct from ``use_float64``: forcing the float path
+        #: on a capable device keeps the exact chunked-int64 fallback for
+        #: launches the 2**53 guard rejects, while an incapable device
+        #: falls back to host numpy instead.
+        self._int64_matmul = self._probe_int64_matmul()  # pragma: no cover
+        if use_float64 is None:  # pragma: no cover - needs torch
+            use_float64 = not self._int64_matmul
+        self.use_float64 = use_float64
 
     @classmethod
     def is_available(cls) -> bool:
         return torch is not None
 
+    def _probe_int64_matmul(self) -> bool:  # pragma: no cover - needs torch
+        """Whether this device supports int64 matmul (CUDA often not)."""
+        try:
+            probe = torch.ones((1, 1), dtype=torch.int64, device=self.device)
+            torch.matmul(probe, probe)
+            return True
+        except RuntimeError:
+            return False
+
     # ------------------------------------------------------------------
-    def to_device(self, array: np.ndarray):
+    def to_device(self, array: np.ndarray):  # pragma: no cover - needs torch
         return torch.from_numpy(np.ascontiguousarray(array, dtype=np.int64)).to(self.device)
 
     def from_device(self, array) -> np.ndarray:
-        if torch is not None and isinstance(array, torch.Tensor):
+        if torch is not None and isinstance(array, torch.Tensor):  # pragma: no cover
             return array.cpu().numpy()
         return np.asarray(array, dtype=np.int64)
 
@@ -58,41 +96,197 @@ class TorchBackend(NumpyBackend):
             torch.cuda.synchronize(self.device)
 
     # ------------------------------------------------------------------
+    # Native view algebra (torch names differ from numpy for two calls)
+    # ------------------------------------------------------------------
+    def nat_transpose(self, array, axes):  # pragma: no cover - needs torch
+        return array.permute(axes)
+
+    def nat_contiguous(self, array):  # pragma: no cover - needs torch
+        return array.contiguous()
+
+    def nat_copy(self, array):  # pragma: no cover - needs torch
+        return array.clone()
+
+    def nat_getitem(self, array, key):  # pragma: no cover - needs torch
+        if isinstance(key, np.ndarray):
+            key = torch.from_numpy(key).to(self.device)
+        elif isinstance(key, tuple):
+            key = tuple(
+                torch.from_numpy(k).to(self.device) if isinstance(k, np.ndarray) else k
+                for k in key
+            )
+        return array[key]
+
+    def nat_stack(self, arrays, axis: int = 0):  # pragma: no cover - needs torch
+        return torch.stack(list(arrays), dim=axis)
+
+    def nat_concat(self, arrays, axis: int = 0):  # pragma: no cover - needs torch
+        return torch.cat(list(arrays), dim=axis)
+
+    # ------------------------------------------------------------------
+    # Tensor-level kernels shared by the host and native entry points
+    # ------------------------------------------------------------------
+    def _matmul_limbs_t(self, lhs_t, rhs_t, moduli: np.ndarray):  # pragma: no cover
+        column = self.to_device(np.asarray(moduli, dtype=np.int64)).reshape(-1, 1, 1)
+        inner = lhs_t.shape[2]
+        qmax = int(np.asarray(moduli).max())
+        if self.use_float64:
+            out = self._float_matmul_limbs_t(lhs_t, rhs_t, column, inner, qmax)
+            if out is not None:
+                return out
+        if not self._int64_matmul:
+            # The float guard declined and this device has no int64
+            # matmul: stage through host numpy for the exact chunked path
+            # (slow but correct — the last-resort promised by the guard).
+            out = NumpyBackend.matmul_limbs(self, self.from_device(lhs_t),
+                                            self.from_device(rhs_t), moduli)
+            return self.to_device(out)
+        chunk = max_safe_chunk(qmax)
+        if chunk >= inner:
+            return torch.matmul(lhs_t, rhs_t) % column
+        out = torch.zeros((lhs_t.shape[0], lhs_t.shape[1], rhs_t.shape[2]),
+                          dtype=torch.int64, device=self.device)
+        for start in range(0, inner, chunk):
+            stop = min(start + chunk, inner)
+            partial = torch.matmul(lhs_t[:, :, start:stop],
+                                   rhs_t[:, start:stop, :]) % column
+            out = (out + partial) % column
+        return out
+
+    def _float_matmul_limbs_t(self, lhs_t, rhs_t, column, inner: int,
+                              qmax: int):  # pragma: no cover - needs torch
+        """Float64 batched GEMM, exact under the 2**53 bound, else None.
+
+        Mirrors the blas backend's guarded fast path on tensors: single
+        pass when ``inner * (q-1)**2`` fits the mantissa, otherwise a
+        hi/lo split of the lhs operand halves the bit-width per partial
+        GEMM (covers >27-bit primes at production N); None when even the
+        split partials could round — the caller then falls back to the
+        exact chunked-int64 path.  ``column`` is the broadcast moduli
+        tensor for limb stacks or a plain int for the single-modulus
+        kernel (torch's ``%`` broadcasts both the same way), so this is
+        the single home of the guard logic.
+        """
+        bound = qmax - 1
+
+        def combine(product):
+            return torch.round(product).to(torch.int64) % column
+
+        if inner * bound * bound < FLOAT_EXACT_LIMIT:
+            return combine(torch.matmul(lhs_t.double(), rhs_t.double()))
+
+        shift = max(1, (bound.bit_length() + 1) // 2)
+        hi_max = max(1, bound >> shift)
+        lo_max = (1 << shift) - 1
+        if inner * max(hi_max, lo_max) * bound >= FLOAT_EXACT_LIMIT:
+            return None
+        rhs_f = rhs_t.double()
+        high = combine(torch.matmul((lhs_t >> shift).double(), rhs_f))
+        low = combine(torch.matmul((lhs_t & ((1 << shift) - 1)).double(), rhs_f))
+        weight = (1 << shift) % column
+        return (low + (high * weight) % column) % column
+
+    @staticmethod
+    def _column_t(tensor_like, moduli):  # pragma: no cover - needs torch
+        """Moduli broadcast column on the operand's device."""
+        column = torch.from_numpy(
+            np.ascontiguousarray(np.asarray(moduli, dtype=np.int64).reshape(-1)))
+        column = column.to(tensor_like.device)
+        return column.reshape((column.shape[0],) + (1,) * (tensor_like.dim() - 1))
+
+    # ------------------------------------------------------------------
+    # Host-level kernels (stage through tensors, return numpy)
+    # ------------------------------------------------------------------
     def matmul_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
                      moduli: np.ndarray, *,
                      lhs_cache: Optional[object] = None,
-                     rhs_cache: Optional[object] = None) -> np.ndarray:
-        lhs_t = self.to_device(lhs)
-        rhs_t = self.to_device(rhs)
-        column = self.to_device(np.asarray(moduli, dtype=np.int64)).reshape(-1, 1, 1)
-        inner = lhs.shape[2]
-        chunk = max_safe_chunk(int(np.asarray(moduli).max()))
-        if chunk >= inner:
-            out = torch.matmul(lhs_t, rhs_t) % column
-        else:
-            out = torch.zeros((lhs.shape[0], lhs.shape[1], rhs.shape[2]),
-                              dtype=torch.int64, device=self.device)
-            for start in range(0, inner, chunk):
-                stop = min(start + chunk, inner)
-                partial = torch.matmul(lhs_t[:, :, start:stop],
-                                       rhs_t[:, start:stop, :]) % column
-                out = (out + partial) % column
+                     rhs_cache: Optional[object] = None) -> np.ndarray:  # pragma: no cover
+        out = self._matmul_limbs_t(self.to_device(lhs), self.to_device(rhs), moduli)
         return self.from_device(out)
 
-    def matmul(self, lhs: np.ndarray, rhs: np.ndarray, modulus: int) -> np.ndarray:
-        lhs = np.asarray(lhs, dtype=np.int64)
-        rhs = np.asarray(rhs, dtype=np.int64)
-        inner = lhs.shape[-1]
+    def _matmul_t(self, lhs_t, rhs_t, modulus: int):  # pragma: no cover - needs torch
+        inner = lhs_t.shape[-1]
+        if self.use_float64:
+            # torch's % broadcasts ints and tensors alike, so the scalar
+            # modulus reuses the guarded limb-column helper unchanged.
+            out = self._float_matmul_limbs_t(lhs_t, rhs_t, modulus, inner,
+                                             modulus)
+            if out is not None:
+                return out
+        if not self._int64_matmul:
+            out = NumpyBackend.matmul(self, self.from_device(lhs_t),
+                                      self.from_device(rhs_t), modulus)
+            return self.to_device(out)
         chunk = max_safe_chunk(modulus)
-        lhs_t = self.to_device(lhs)
-        rhs_t = self.to_device(rhs)
         if chunk >= inner:
-            return self.from_device(torch.matmul(lhs_t, rhs_t) % modulus)
-        out = torch.zeros(lhs.shape[:-1] + rhs.shape[1:],
+            return torch.matmul(lhs_t, rhs_t) % modulus
+        out = torch.zeros(tuple(lhs_t.shape[:-1]) + tuple(rhs_t.shape[1:]),
                           dtype=torch.int64, device=self.device)
         for start in range(0, inner, chunk):
             stop = min(start + chunk, inner)
             partial = torch.matmul(lhs_t[..., start:stop],
                                    rhs_t[start:stop]) % modulus
             out = (out + partial) % modulus
+        return out
+
+    def matmul(self, lhs: np.ndarray, rhs: np.ndarray,
+               modulus: int) -> np.ndarray:  # pragma: no cover - needs torch
+        out = self._matmul_t(self.to_device(np.asarray(lhs, dtype=np.int64)),
+                             self.to_device(np.asarray(rhs, dtype=np.int64)),
+                             modulus)
         return self.from_device(out)
+
+    # ------------------------------------------------------------------
+    # Residency-aware kernels: tensors in, tensors out, zero host copies
+    # ------------------------------------------------------------------
+    def matmul_limbs_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
+                            moduli: np.ndarray, *,
+                            lhs_cache: Optional[object] = None,
+                            rhs_cache: Optional[object] = None) -> DeviceBuffer:  # pragma: no cover
+        out = self._matmul_limbs_t(lhs.ensure_device(self),
+                                   rhs.ensure_device(self), moduli)
+        return DeviceBuffer.from_native(out, self)
+
+    def matmul_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
+                      modulus: int) -> DeviceBuffer:  # pragma: no cover - needs torch
+        out = self._matmul_t(lhs.ensure_device(self), rhs.ensure_device(self),
+                             modulus)
+        return DeviceBuffer.from_native(out, self)
+
+    def hadamard_limbs_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
+                              moduli: np.ndarray) -> DeviceBuffer:  # pragma: no cover
+        lhs_t = lhs.ensure_device(self)
+        out = (lhs_t * rhs.ensure_device(self)) % self._column_t(lhs_t, moduli)
+        return DeviceBuffer.from_native(out, self)
+
+    def mat_reduce_native(self, matrix: DeviceBuffer,
+                          moduli: np.ndarray) -> DeviceBuffer:  # pragma: no cover
+        matrix_t = matrix.ensure_device(self)
+        out = matrix_t % self._column_t(matrix_t, moduli)
+        return DeviceBuffer.from_native(out, self)
+
+    def mat_add_native(self, a: DeviceBuffer, b: DeviceBuffer,
+                       moduli: np.ndarray) -> DeviceBuffer:  # pragma: no cover
+        a_t = a.ensure_device(self)
+        column = self._column_t(a_t, moduli)
+        out = a_t + b.ensure_device(self)
+        return DeviceBuffer.from_native(torch.where(out >= column, out - column, out), self)
+
+    def mat_sub_native(self, a: DeviceBuffer, b: DeviceBuffer,
+                       moduli: np.ndarray) -> DeviceBuffer:  # pragma: no cover
+        a_t = a.ensure_device(self)
+        column = self._column_t(a_t, moduli)
+        out = a_t - b.ensure_device(self)
+        return DeviceBuffer.from_native(torch.where(out < 0, out + column, out), self)
+
+    def mat_neg_native(self, a: DeviceBuffer,
+                       moduli: np.ndarray) -> DeviceBuffer:  # pragma: no cover
+        a_t = a.ensure_device(self)
+        column = self._column_t(a_t, moduli)
+        return DeviceBuffer.from_native((column - a_t) % column, self)
+
+    def mat_mul_native(self, a: DeviceBuffer, b: DeviceBuffer,
+                       moduli: np.ndarray) -> DeviceBuffer:  # pragma: no cover
+        a_t = a.ensure_device(self)
+        out = (a_t * b.ensure_device(self)) % self._column_t(a_t, moduli)
+        return DeviceBuffer.from_native(out, self)

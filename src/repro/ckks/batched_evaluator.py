@@ -35,6 +35,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend.residency import (
+    as_ndarray,
+    concatenate_arrays,
+    contiguous,
+    stack_arrays,
+)
 from ..kernels.automorphism import (
     apply_automorphism_coeff,
     galois_element_for_rotation,
@@ -126,7 +132,7 @@ class BatchedEvaluator:
             entries = [fusable[k] for k in indices]
             batch, limbs = len(entries), len(moduli)
             tiled = self._tiled_moduli(moduli, batch)
-            stacks = np.concatenate([
+            stacks = concatenate_arrays([
                 self._stack([entry[1].c0 for entry in entries]),
                 self._stack([entry[1].c1 for entry in entries]),
                 self._stack([entry[3] for entry in entries]),
@@ -140,7 +146,7 @@ class BatchedEvaluator:
             d1 = self._fused_mul(c1_eval, plain_eval, tiled)
             self._record(KernelName.HADAMARD, 2 * batch, limbs)
             coeff = self.context.planner.inverse_ops(
-                self.context.ring_degree, moduli, np.concatenate([d0, d1]))
+                self.context.ring_degree, moduli, concatenate_arrays([d0, d1]))
             self._record(KernelName.INTT, 2 * batch, limbs)
             for j, (i, ciphertext, plaintext, _) in enumerate(entries):
                 results[i] = Ciphertext(
@@ -175,7 +181,7 @@ class BatchedEvaluator:
             batch, limbs = len(entries), len(moduli)
             level = entries[0][1].level
             tiled = self._tiled_moduli(moduli, batch)
-            stacks = np.concatenate([
+            stacks = concatenate_arrays([
                 self._stack([lhs.c0 for _, lhs, _ in entries]),
                 self._stack([lhs.c1 for _, lhs, _ in entries]),
                 self._stack([rhs.c0 for _, _, rhs in entries]),
@@ -197,7 +203,8 @@ class BatchedEvaluator:
             self._record(KernelName.ELE_ADD, batch, limbs)
 
             coeff = self.context.planner.inverse_ops(
-                self.context.ring_degree, moduli, np.concatenate([d0, d1, d2]))
+                self.context.ring_degree, moduli,
+                concatenate_arrays([d0, d1, d2]))
             self._record(KernelName.INTT, 3 * batch, limbs)
             # Generalized key switching, fused across the B axis: the dnum
             # decomposition of every stream stacks into one (B, dnum, L, N)
@@ -249,8 +256,10 @@ class BatchedEvaluator:
             polys = ([ciphertexts[i].c0 for i in indices]
                      + [ciphertexts[i].c1 for i in indices])
             stacks = self._stack(polys)                       # (2B, L, N)
-            head = np.ascontiguousarray(stacks[:, :-1, :])    # (2B, L-1, N)
-            last = np.broadcast_to(stacks[:, -1:, :], head.shape)
+            head = contiguous(stacks[:, :-1, :])              # (2B, L-1, N)
+            # Last limb repeated per surviving limb — a resident-image row
+            # gather (bit-identical to the historical broadcast view).
+            last = stacks[:, np.full(limbs - 1, limbs - 1, dtype=np.int64), :]
             # (c_i - c_last) * q_last^{-1} mod q_i, all streams and limbs
             # in three funnel launches over the (2B*(L-1), N) fused matrix.
             reduced_last = mat_mod_reduce(last.reshape(-1, head.shape[2]), tiled)
@@ -324,12 +333,15 @@ class BatchedEvaluator:
             batch, limbs = len(entries), len(moduli)
             level = entries[0][1].level
             tiled = self._tiled_moduli(moduli, batch)
-            stacks = np.concatenate([
+            stacks = concatenate_arrays([
                 self._stack([ct.c0 for _, ct in entries]),
                 self._stack([ct.c1 for _, ct in entries]),
             ])                                            # (2B, L, N)
             column = np.asarray(moduli, dtype=np.int64)[:, None]
-            rotated = apply_automorphism_coeff(stacks, galois_element, column)
+            # The automorphism is a host-side index gather (a counted
+            # staging point for device-resident streams).
+            rotated = apply_automorphism_coeff(as_ndarray(stacks),
+                                               galois_element, column)
             self._record(kernel, 2 * batch, limbs)
             switched = self.key_switcher.switch_many(
                 [self._poly(moduli, rotated[batch + j]) for j in range(batch)],
@@ -368,12 +380,17 @@ class BatchedEvaluator:
         return groups
 
     @staticmethod
-    def _stack(polys: Sequence[RnsPolynomial]) -> np.ndarray:
-        """Stack per-stream residue matrices into a ``(B, L, N)`` batch."""
-        return np.stack([poly.residues for poly in polys])
+    def _stack(polys: Sequence[RnsPolynomial]):
+        """Stack per-stream residency handles into a ``(B, L, N)`` batch.
+
+        Returns a :class:`~repro.backend.residency.DeviceBuffer`: the
+        gather stays on the device when every stream is resident there,
+        and the fused launches downstream thread the handle end-to-end.
+        """
+        return stack_arrays([poly.buffer for poly in polys])
 
     @staticmethod
-    def _fuse(stack: np.ndarray) -> np.ndarray:
+    def _fuse(stack):
         """Reshape ``(B, L, N)`` to the ``(B*L, N)`` fused funnel matrix."""
         return stack.reshape(-1, stack.shape[2])
 

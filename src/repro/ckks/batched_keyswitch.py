@@ -35,6 +35,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend.residency import (
+    as_ndarray,
+    concatenate_arrays,
+    contiguous,
+    stack_arrays,
+)
 from ..kernels.base import KernelName
 from ..numtheory.modular import mat_mod_add, mat_mod_mul, mat_mod_reduce
 from ..rns.poly import PolyDomain, RnsPolynomial
@@ -97,19 +103,21 @@ class BatchedKeySwitcher:
         ring_degree = context.ring_degree
         ext_count = len(extended)
         active_index = {q: i for i, q in enumerate(active)}
-        stacked = np.stack([p.residues for p in polynomials])   # (B, L, N)
+        # Stream gather through the residency handles: stays device-side
+        # when every stream is resident on the same backend.
+        stacked = stack_arrays([p.buffer for p in polynomials])  # (B, L, N)
 
         # Dcomp + ModUp: one batched Conv per decomposition group.
         raised_groups = []
         for group in key_level.group_moduli:
-            rows = [active_index[q] for q in group]
+            rows = np.asarray([active_index[q] for q in group], dtype=np.int64)
             modup = self.key_switcher._modup_for(group, extended)
             counter.record_batch(KernelName.CONV, batch,
                                  ext_count - len(group))
             raised_groups.append(
-                modup.apply_batch(np.ascontiguousarray(stacked[:, rows])))
+                modup.apply_batch(contiguous(stacked[:, rows])))
         dnum = len(raised_groups)
-        raised = np.stack(raised_groups, axis=1)        # (B, dnum, ext, N)
+        raised = stack_arrays(raised_groups, axis=1)    # (B, dnum, ext, N)
 
         # NTT: all B * dnum extended slices in one engine call.
         evals = context.planner.forward_ops(
@@ -134,7 +142,7 @@ class BatchedKeySwitcher:
 
         # INTT + ModDown: both components of every stream at once.
         coeff = context.planner.inverse_ops(
-            ring_degree, extended, np.concatenate(accumulators))
+            ring_degree, extended, concatenate_arrays(accumulators))
         counter.record_batch(KernelName.INTT, 2 * batch, ext_count)
         moddown = self.key_switcher._moddown_for(active)
         counter.record_batch(KernelName.CONV, batch, 2 * len(active))
@@ -183,8 +191,11 @@ class BatchedKeySwitcher:
         int64 sum is exact whenever ``dnum * max(q)`` fits in int64 (always
         for word-sized primes); the fold then reduces once per row, which
         equals the sequential chain of Ele-Add launches bit for bit.  The
-        pairwise funnel fallback covers pathological moduli.
+        pairwise funnel fallback covers pathological moduli.  The reduction
+        over the dnum axis stages on host (``as_ndarray`` — a counted
+        crossing for device-resident products).
         """
+        products = as_ndarray(products)
         batch, dnum, ext_count, ring_degree = products.shape
         tiled = np.tile(ext_column, (batch, 1))
         if dnum * int(ext_column.max()) < (1 << 63):

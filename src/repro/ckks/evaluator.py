@@ -13,7 +13,7 @@ from typing import Optional
 
 from ..kernels import ops as kernel_ops
 from ..kernels.automorphism import galois_element_for_rotation
-from ..numtheory.modular import mat_mod_mul, moduli_column
+from ..numtheory.modular import mat_mod_mul, mat_mod_reduce, mat_mod_sub, moduli_column
 from ..rns.poly import RnsPolynomial
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
@@ -185,15 +185,21 @@ class Evaluator:
         """Exact rescaling ``(c_i - c_last) * q_last^{-1} mod q_i``, all limbs at once.
 
         The per-level inverse column ``q_last^{-1} mod q_i`` is cached on
-        the context, so a rescale is two vectorised 2-D launches over the
-        surviving limbs.
+        the context, so a rescale is three vectorised funnel launches over
+        the surviving limbs (reduce the last limb per surviving prime,
+        subtract, multiply by the inverse) — all threading the polynomial's
+        residency handle, so a device-resident ciphertext rescales without
+        a host copy.  Bit-identical to the historical host expression
+        ``(c[:-1] - c[-1] % column) % column`` times the inverse.
         """
         kernels = self.context.kernels
         moduli = polynomial.moduli[:-1]
         column = moduli_column(moduli)
         inverse_column = self.context.rescale_inverses(polynomial.moduli)
-        last_residues = polynomial.residues[-1]
-        diff = (polynomial.residues[:-1] - (last_residues[None, :] % column)) % column
+        buffer = polynomial.buffer
+        # (1, N) last limb reduced against every surviving prime: (L-1, N).
+        reduced_last = mat_mod_reduce(buffer[-1:], column)
+        diff = mat_mod_sub(buffer[:-1], reduced_last, column)
         # Funnel multiply: exact even for moduli whose residue products
         # overflow int64, matching the batched rescale bit for bit.
         residues = mat_mod_mul(diff, inverse_column, column)

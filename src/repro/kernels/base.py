@@ -15,6 +15,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
+from ..backend.residency import track_transfers
+
 __all__ = ["KernelName", "KernelCounter", "KernelContext"]
 
 
@@ -35,10 +37,18 @@ class KernelName:
 
 @dataclass
 class KernelCounter:
-    """Counts kernel invocations and the limb-vectors they processed."""
+    """Counts kernel invocations, limb-vectors and host↔device transfers.
+
+    The ``transfers`` counter records residency-layer crossings (keys
+    ``"host_to_device"`` / ``"device_to_host"``, see
+    :mod:`repro.backend.residency`): a fused chain that keeps its operands
+    device-resident shows zero intermediate transfers here, which is how
+    the tests pin the paper's stay-on-device execution model.
+    """
 
     invocations: Counter = field(default_factory=Counter)
     limb_vectors: Counter = field(default_factory=Counter)
+    transfers: Counter = field(default_factory=Counter)
 
     def record(self, kernel: str, limbs: int = 1) -> None:
         """Record one invocation of ``kernel`` touching ``limbs`` limb-vectors."""
@@ -57,9 +67,18 @@ class KernelCounter:
         self.invocations[kernel] += operations
         self.limb_vectors[kernel] += operations * limbs_per_operation
 
+    def record_transfer(self, direction: str, count: int = 1) -> None:
+        """Record ``count`` host↔device crossings (a transfer sink hook)."""
+        self.transfers[direction] += count
+
+    def transfer_total(self) -> int:
+        """Total crossings in both directions (0 == fully resident)."""
+        return sum(self.transfers.values())
+
     def reset(self) -> None:
         self.invocations.clear()
         self.limb_vectors.clear()
+        self.transfers.clear()
 
     def snapshot(self) -> Dict[str, int]:
         """A plain dict copy of the invocation counts."""
@@ -71,6 +90,7 @@ class KernelCounter:
     def merge(self, other: "KernelCounter") -> None:
         self.invocations.update(other.invocations)
         self.limb_vectors.update(other.limb_vectors)
+        self.transfers.update(other.transfers)
 
 
 class KernelContext:
@@ -85,7 +105,10 @@ class KernelContext:
         """Capture the kernels executed inside the ``with`` block.
 
         The captured counts are *also* accumulated into the context's main
-        counter, mirroring a profiler attached to the kernel layer.
+        counter, mirroring a profiler attached to the kernel layer.  The
+        block additionally registers the fresh counter as a residency
+        transfer sink, so ``fresh.transfers`` reports exactly the
+        host↔device crossings the block performed.
         """
         fresh = KernelCounter()
         previous = self.counter
@@ -93,7 +116,8 @@ class KernelContext:
         merged.merge(previous)
         self.counter = fresh
         try:
-            yield fresh
+            with track_transfers(fresh):
+                yield fresh
         finally:
             merged.merge(fresh)
             self.counter = merged

@@ -37,6 +37,9 @@ import abc
 
 import numpy as np
 
+from ..backend.registry import resolve_backend
+from ..backend.residency import as_ndarray, is_buffer, match_residency, stack_arrays
+
 __all__ = ["NttEngine"]
 
 
@@ -96,14 +99,17 @@ class NttEngine(abc.ABC):
         """Forward-transform row ``i`` of ``residues`` modulo ``moduli[i]``.
 
         Generic fallback: dispatch each limb to a cached sibling engine of
-        the same class.  The GEMM engines override this with a single
-        batched launch over the stacked twiddle operands.
+        the same class (a host-level loop — resident inputs are staged to
+        host with the transfer counted).  The GEMM engines override this
+        with a single batched launch over the stacked twiddle operands.
         """
-        residues, moduli = self._validate_limbs(residues, moduli)
-        return np.stack([
-            self._engine_for_modulus(int(q)).forward(residues[i])
+        validated, moduli = self._validate_limbs(residues, moduli)
+        rows = as_ndarray(validated)
+        out = np.stack([
+            self._engine_for_modulus(int(q)).forward(rows[i])
             for i, q in enumerate(moduli)
         ])
+        return match_residency(out, residues)
 
     def inverse_limbs(self, values: np.ndarray,
                       moduli: Sequence[int]) -> np.ndarray:
@@ -111,11 +117,13 @@ class NttEngine(abc.ABC):
 
         Generic per-limb fallback; see :meth:`forward_limbs`.
         """
-        values, moduli = self._validate_limbs(values, moduli)
-        return np.stack([
-            self._engine_for_modulus(int(q)).inverse(values[i])
+        validated, moduli = self._validate_limbs(values, moduli)
+        rows = as_ndarray(validated)
+        out = np.stack([
+            self._engine_for_modulus(int(q)).inverse(rows[i])
             for i, q in enumerate(moduli)
         ])
+        return match_residency(out, values)
 
     # ------------------------------------------------------------------
     # Operation-batched transforms: one call per (B, L, N) stack.
@@ -135,8 +143,8 @@ class NttEngine(abc.ABC):
         stacks = self._check_ops_shape(stacks)
         if stacks.shape[0] == 0:
             return stacks
-        return np.stack([self.forward_limbs(stacks[b], moduli)
-                         for b in range(stacks.shape[0])])
+        return stack_arrays([self.forward_limbs(stacks[b], moduli)
+                             for b in range(stacks.shape[0])])
 
     def inverse_ops(self, stacks: np.ndarray,
                     moduli: Sequence[int]) -> np.ndarray:
@@ -147,8 +155,22 @@ class NttEngine(abc.ABC):
         stacks = self._check_ops_shape(stacks)
         if stacks.shape[0] == 0:
             return stacks
-        return np.stack([self.inverse_limbs(stacks[b], moduli)
-                         for b in range(stacks.shape[0])])
+        return stack_arrays([self.inverse_limbs(stacks[b], moduli)
+                             for b in range(stacks.shape[0])])
+
+    def _stage_resident(self, operand):
+        """Promote a handle input onto this engine's device before slicing.
+
+        The transform paths carve views out of the input (``[:, :, None]``,
+        reshapes); staging the *parent* handle first means those views are
+        device-side and the upload happens exactly once per handle instead
+        of once per derived view.  A no-op for host arrays/backends.
+        """
+        if is_buffer(operand):
+            backend = resolve_backend(self.backend)
+            if not backend.device_is_host:
+                operand.ensure_device(backend)
+        return operand
 
     def _engine_for_modulus(self, modulus: int) -> "NttEngine":
         """Return a same-class engine for ``(N, modulus)`` (cached)."""
@@ -173,9 +195,35 @@ class NttEngine(abc.ABC):
 
     def _validate_limbs(self, residues: np.ndarray,
                         moduli: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
-        """Check/reduce a ``(limbs, N)`` residue matrix against its moduli."""
-        array = np.asarray(residues, dtype=np.int64)
+        """Check/reduce a ``(limbs, N)`` residue matrix against its moduli.
+
+        Residency handles with a host image (every user-constructed handle
+        has one) get the same range scan/reduction as plain arrays — the
+        historical contract for out-of-range residues.  Only device-only
+        handles are trusted as reduced: their values were produced by the
+        library's own kernels, and scanning them would force a host copy.
+        """
         moduli_array = np.asarray([int(q) for q in moduli], dtype=np.int64)
+        if is_buffer(residues):
+            shape = residues.shape
+            if len(shape) != 2 or shape[1] != self.ring_degree:
+                raise ValueError(
+                    "expected a (limbs, %d) residue matrix, got shape %s"
+                    % (self.ring_degree, shape)
+                )
+            if moduli_array.shape[0] != shape[0]:
+                raise ValueError(
+                    "got %d moduli for %d limbs"
+                    % (moduli_array.shape[0], shape[0])
+                )
+            host = residues.host_image
+            if host is not None:
+                column = moduli_array[:, None]
+                if np.any(host < 0) or np.any(host >= column):
+                    # A stale device image would hold the unreduced values.
+                    residues = type(residues).wrap(host % column)
+            return residues, moduli_array
+        array = np.asarray(residues, dtype=np.int64)
         if array.ndim != 2 or array.shape[1] != self.ring_degree:
             raise ValueError(
                 "expected a (limbs, %d) residue matrix, got shape %s"
@@ -193,6 +241,14 @@ class NttEngine(abc.ABC):
 
     def _check_ops_shape(self, stacks: np.ndarray) -> np.ndarray:
         """Shape-check a ``(B, limbs, N)`` stack (no range scan)."""
+        if is_buffer(stacks):
+            shape = stacks.shape
+            if len(shape) != 3 or shape[2] != self.ring_degree:
+                raise ValueError(
+                    "expected a (B, limbs, %d) stack, got shape %s"
+                    % (self.ring_degree, shape)
+                )
+            return stacks
         array = np.asarray(stacks, dtype=np.int64)
         if array.ndim != 3 or array.shape[2] != self.ring_degree:
             raise ValueError(
@@ -203,7 +259,11 @@ class NttEngine(abc.ABC):
 
     def _validate_ops(self, stacks: np.ndarray,
                       moduli: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
-        """Check/reduce a ``(B, limbs, N)`` stack against its shared moduli."""
+        """Check/reduce a ``(B, limbs, N)`` stack against its shared moduli.
+
+        Handles with a host image get the same scan/reduction as plain
+        arrays; device-only handles are trusted (see :meth:`_validate_limbs`).
+        """
         array = self._check_ops_shape(stacks)
         moduli_array = np.asarray([int(q) for q in moduli], dtype=np.int64)
         if moduli_array.shape[0] != array.shape[1]:
@@ -213,6 +273,11 @@ class NttEngine(abc.ABC):
             )
         # Moduli broadcast over the limb axis (axis 1) of the stack.
         column = moduli_array[None, :, None]
+        if is_buffer(array):
+            host = array.host_image
+            if host is not None and (np.any(host < 0) or np.any(host >= column)):
+                array = type(array).wrap(host % column)
+            return array, moduli_array
         if np.any(array < 0) or np.any(array >= column):
             array = array % column
         return array, moduli_array

@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..backend.residency import contiguous, is_buffer
 from ..numtheory.modular import mat_mod_mul
 from .base import NttEngine
 from .gemm_utils import (
@@ -66,6 +67,9 @@ class FourStepNtt(NttEngine):
         return (flattened * self.twiddles.degree_inverse) % self.modulus
 
     # -- limb-batched path: the whole RNS polynomial in three launches --
+    # Residency-handle inputs pick the stack's resident operand handles
+    # and keep every reshape/transpose on the resident image, so both
+    # transform directions thread handles end-to-end.
     def forward_limbs(self, residues: np.ndarray,
                       moduli: Sequence[int]) -> np.ndarray:
         """Forward NTT of all limbs via batched three-GEMM decomposition.
@@ -75,8 +79,12 @@ class FourStepNtt(NttEngine):
         single 3-D ``matmul``/Hadamard launch over every limb at once.
         """
         residues, moduli_array = self._validate_limbs(residues, moduli)
+        residues = self._stage_resident(residues)
         stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
-        w1, w2, w3 = stack.four_step_forward()
+        if is_buffer(residues):
+            w1, w2, w3 = stack.four_step_forward_buffers()
+        else:
+            w1, w2, w3 = stack.four_step_forward()
         w1_cache, w3_cache = stack.four_step_forward_caches()
         limbs = residues.shape[0]
         a_mat = residues.reshape(limbs, self.n1, self.n2)
@@ -90,8 +98,12 @@ class FourStepNtt(NttEngine):
                       moduli: Sequence[int]) -> np.ndarray:
         """Inverse NTT of all limbs via batched three-GEMM decomposition."""
         values, moduli_array = self._validate_limbs(values, moduli)
+        values = self._stage_resident(values)
         stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
-        v1, v2, v3 = stack.four_step_inverse()
+        if is_buffer(values):
+            v1, v2, v3 = stack.four_step_inverse_buffers()
+        else:
+            v1, v2, v3 = stack.four_step_inverse()
         v1_cache, v3_cache = stack.four_step_inverse_caches()
         limbs = values.shape[0]
         a_mat = values.reshape(limbs, self.n1, self.n2)
@@ -117,8 +129,12 @@ class FourStepNtt(NttEngine):
         limbs.
         """
         stacks, moduli_array = self._validate_ops(stacks, moduli)
+        stacks = self._stage_resident(stacks)
         stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
-        w1, w2, w3 = stack.four_step_forward()
+        if is_buffer(stacks):
+            w1, w2, w3 = stack.four_step_forward_buffers()
+        else:
+            w1, w2, w3 = stack.four_step_forward()
         w1_cache, w3_cache = stack.four_step_forward_caches()
         return self._ops_pipeline(stacks, moduli_array, w1, w2, w3,
                                   w1_cache, w3_cache)
@@ -129,8 +145,12 @@ class FourStepNtt(NttEngine):
         stacks, moduli_array = self._validate_ops(stacks, moduli)
         if stacks.shape[0] == 0:
             return stacks
+        stacks = self._stage_resident(stacks)
         stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
-        v1, v2, v3 = stack.four_step_inverse()
+        if is_buffer(stacks):
+            v1, v2, v3 = stack.four_step_inverse_buffers()
+        else:
+            v1, v2, v3 = stack.four_step_inverse()
         v1_cache, v3_cache = stack.four_step_inverse_caches()
         flattened = self._ops_pipeline(stacks, moduli_array, v1, v2, v3,
                                        v1_cache, v3_cache)
@@ -146,24 +166,34 @@ class FourStepNtt(NttEngine):
     def _ops_pipeline(self, stacks: np.ndarray, moduli_array: np.ndarray,
                       w1: np.ndarray, w2: np.ndarray, w3: np.ndarray,
                       w1_cache, w3_cache) -> np.ndarray:
-        """The three fused launches shared by both transform directions."""
+        """The three fused launches shared by both transform directions.
+
+        Works uniformly on host arrays and residency handles: every
+        reshape/transpose is a resident-image view, so a handle batch
+        flows through all three launches without a host copy.
+        """
+        # Stage the shared Hadamard-twiddle handle before slicing it: the
+        # broadcast view below is a fresh handle per call, so the upload
+        # must land on the cached parent (w1/w3 go through the funnel
+        # whole and stage themselves).
+        w2 = self._stage_resident(w2)
         batch, limbs = stacks.shape[0], stacks.shape[1]
         a_mat = stacks.reshape(batch, limbs, self.n1, self.n2)
         inner = self._gemm_limbs(
             w1,
-            np.ascontiguousarray(a_mat.transpose(1, 2, 0, 3)).reshape(
+            contiguous(a_mat.transpose(1, 2, 0, 3)).reshape(
                 limbs, self.n1, batch * self.n2),
             moduli_array, lhs_cache=w1_cache)
         twisted = self._hadamard_limbs(
             inner.reshape(limbs, self.n1, batch, self.n2),
             w2[:, :, None, :], moduli_array)
         outer = self._gemm_limbs(
-            np.ascontiguousarray(
+            contiguous(
                 twisted.transpose(0, 2, 1, 3)).reshape(
                     limbs, batch * self.n1, self.n2),
             w3, moduli_array, rhs_cache=w3_cache)
         # Column-major flattening of every (N1, N2) slice, per operation.
-        return np.ascontiguousarray(
+        return contiguous(
             outer.reshape(limbs, batch, self.n1, self.n2)
             .transpose(1, 0, 3, 2)).reshape(batch, limbs, self.ring_degree)
 

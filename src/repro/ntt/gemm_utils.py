@@ -10,6 +10,16 @@ how the same engines run on chunked int64 numpy, exact float64 BLAS, a
 multiprocess pool or an accelerator library — selected per call
 (``backend=``), per planner, or process-wide (``REPRO_BACKEND``).
 
+Residency: each funnel accepts either host ``numpy`` arrays or
+:class:`~repro.backend.residency.DeviceBuffer` handles.  The convention is
+*handle in → handle out*: when any operand is a handle the launch dispatches
+to the backend's ``*_native`` kernel (which keeps device-resident operands
+on the device) and the result comes back as a handle, so a chain of funnel
+calls performs zero intermediate host copies.  Plain-array call sites are
+untouched — they keep the exact historical code path.  Handles are trusted
+to hold reduced residues; only the oversized-moduli exact path materialises
+them on host (a counted transfer on device backends).
+
 ``FloatOperandCache`` and ``max_safe_chunk`` are re-exported from their new
 homes under :mod:`repro.backend` for backward compatibility.
 """
@@ -23,6 +33,7 @@ import numpy as np
 from ..backend.blas_backend import FloatOperandCache
 from ..backend.numpy_backend import max_safe_chunk
 from ..backend.registry import resolve_backend
+from ..backend.residency import as_buffer, is_buffer
 
 __all__ = [
     "modular_matmul",
@@ -39,26 +50,45 @@ __all__ = [
 _INT64_SAFE_MODULUS = 1 << 31
 
 
+def _shape(operand):
+    """Shape of an array-or-handle without materialising a host image."""
+    if is_buffer(operand):
+        return operand.shape
+    return np.asarray(operand).shape
+
+
 def modular_matmul(lhs: np.ndarray, rhs: np.ndarray, modulus: int, *,
                    backend=None) -> np.ndarray:
     """Return ``(lhs @ rhs) mod modulus`` exactly on the active backend."""
-    lhs = np.asarray(lhs, dtype=np.int64)
-    rhs = np.asarray(rhs, dtype=np.int64)
-    if lhs.shape[-1] != rhs.shape[0]:
+    resident = is_buffer(lhs) or is_buffer(rhs)
+    if not resident:
+        lhs = np.asarray(lhs, dtype=np.int64)
+        rhs = np.asarray(rhs, dtype=np.int64)
+    if _shape(lhs)[-1] != _shape(rhs)[0]:
         raise ValueError(
-            "inner dimensions do not match: %s @ %s" % (lhs.shape, rhs.shape)
+            "inner dimensions do not match: %s @ %s" % (_shape(lhs), _shape(rhs))
         )
+    if resident:
+        return resolve_backend(backend).matmul_native(
+            as_buffer(lhs), as_buffer(rhs), modulus)
     return resolve_backend(backend).matmul(lhs, rhs, modulus)
 
 
 def modular_hadamard(lhs: np.ndarray, rhs: np.ndarray, modulus: int, *,
                      backend=None) -> np.ndarray:
     """Element-wise ``(lhs * rhs) mod modulus`` on int64 arrays."""
-    lhs = np.asarray(lhs, dtype=np.int64)
-    rhs = np.asarray(rhs, dtype=np.int64)
+    resident = is_buffer(lhs) or is_buffer(rhs)
+    if not resident:
+        lhs = np.asarray(lhs, dtype=np.int64)
+        rhs = np.asarray(rhs, dtype=np.int64)
     if modulus >= _INT64_SAFE_MODULUS:
-        product = lhs.astype(object) * rhs.astype(object)
-        return np.asarray(product % modulus, dtype=np.int64)
+        product = (np.asarray(lhs, dtype=np.int64).astype(object)
+                   * np.asarray(rhs, dtype=np.int64).astype(object))
+        out = np.asarray(product % modulus, dtype=np.int64)
+        return as_buffer(out) if resident else out
+    if resident:
+        return resolve_backend(backend).hadamard_native(
+            as_buffer(lhs), as_buffer(rhs), modulus)
     return resolve_backend(backend).hadamard(lhs, rhs, modulus)
 
 
@@ -72,24 +102,35 @@ def modular_matmul_limbs(lhs: np.ndarray, rhs: np.ndarray, moduli, *,
     must already be reduced modulo their row's prime.  The whole stack is
     one backend launch; ``lhs_cache``/``rhs_cache`` pass a reusable
     operand's cached float64 image to backends that exploit it (blas).
+    Handles may carry their own attached float images, which the blas
+    backend picks up when no explicit cache is given.
     """
-    lhs = np.asarray(lhs, dtype=np.int64)
-    rhs = np.asarray(rhs, dtype=np.int64)
-    if lhs.ndim != 3 or rhs.ndim != 3:
+    resident = is_buffer(lhs) or is_buffer(rhs)
+    if not resident:
+        lhs = np.asarray(lhs, dtype=np.int64)
+        rhs = np.asarray(rhs, dtype=np.int64)
+    lhs_shape, rhs_shape = _shape(lhs), _shape(rhs)
+    if len(lhs_shape) != 3 or len(rhs_shape) != 3:
         raise ValueError(
-            "expected 3-D limb stacks, got %s @ %s" % (lhs.shape, rhs.shape)
+            "expected 3-D limb stacks, got %s @ %s" % (lhs_shape, rhs_shape)
         )
-    if lhs.shape[0] != rhs.shape[0] or lhs.shape[2] != rhs.shape[1]:
+    if lhs_shape[0] != rhs_shape[0] or lhs_shape[2] != rhs_shape[1]:
         raise ValueError(
-            "limb stacks do not align: %s @ %s" % (lhs.shape, rhs.shape)
+            "limb stacks do not align: %s @ %s" % (lhs_shape, rhs_shape)
         )
     moduli = np.asarray(moduli, dtype=np.int64)
     if int(moduli.max()) >= _INT64_SAFE_MODULUS:
         # A single product of two reduced residues can overflow int64;
         # take the exact (slow) object-dtype path, as mat_mod_mul does.
         column = moduli.reshape(-1, 1, 1)
-        product = np.matmul(lhs.astype(object), rhs.astype(object))
-        return np.asarray(product % column, dtype=np.int64)
+        product = np.matmul(np.asarray(lhs, dtype=np.int64).astype(object),
+                            np.asarray(rhs, dtype=np.int64).astype(object))
+        out = np.asarray(product % column, dtype=np.int64)
+        return as_buffer(out) if resident else out
+    if resident:
+        return resolve_backend(backend).matmul_limbs_native(
+            as_buffer(lhs), as_buffer(rhs), moduli,
+            lhs_cache=lhs_cache, rhs_cache=rhs_cache)
     return resolve_backend(backend).matmul_limbs(
         lhs, rhs, moduli, lhs_cache=lhs_cache, rhs_cache=rhs_cache)
 
@@ -101,37 +142,60 @@ def modular_hadamard_limbs(lhs: np.ndarray, rhs: np.ndarray, moduli, *,
     The leading axis of both operands is the limb axis; ``moduli[i]``
     reduces slice ``i``.
     """
-    lhs = np.asarray(lhs, dtype=np.int64)
-    rhs = np.asarray(rhs, dtype=np.int64)
+    resident = is_buffer(lhs) or is_buffer(rhs)
+    if not resident:
+        lhs = np.asarray(lhs, dtype=np.int64)
+        rhs = np.asarray(rhs, dtype=np.int64)
     moduli = np.asarray(moduli, dtype=np.int64)
     if int(moduli.max()) >= _INT64_SAFE_MODULUS:
-        column = moduli.reshape((moduli.shape[0],) + (1,) * (lhs.ndim - 1))
-        product = lhs.astype(object) * rhs.astype(object)
-        return np.asarray(product % column, dtype=np.int64)
+        lhs_host = np.asarray(lhs, dtype=np.int64)
+        rhs_host = np.asarray(rhs, dtype=np.int64)
+        column = moduli.reshape((moduli.shape[0],) + (1,) * (lhs_host.ndim - 1))
+        product = lhs_host.astype(object) * rhs_host.astype(object)
+        out = np.asarray(product % column, dtype=np.int64)
+        return as_buffer(out) if resident else out
+    if resident:
+        return resolve_backend(backend).hadamard_limbs_native(
+            as_buffer(lhs), as_buffer(rhs), moduli)
     return resolve_backend(backend).hadamard_limbs(lhs, rhs, moduli)
 
 
 def modular_matmul_rows(lhs: np.ndarray, rhs: np.ndarray, row_moduli, *,
+                        operand_bound: Optional[int] = None,
                         backend=None) -> np.ndarray:
     """Row-moduli GEMM: ``out[j] = (lhs[j] @ rhs) mod row_moduli[j]``.
 
     Used by the fast basis conversion, where every *output* row has its own
     prime.  Operand entries may live in different residue domains, so the
     overflow bound comes from the actual operand maxima instead of the
-    moduli.
+    moduli; resident callers pass ``operand_bound`` (any upper bound on
+    ``max(lhs) * max(rhs)``) so the funnel never has to materialise a
+    device operand just to scan it.
     """
-    lhs = np.asarray(lhs, dtype=np.int64)
-    rhs = np.asarray(rhs, dtype=np.int64)
-    if lhs.shape[-1] != rhs.shape[0]:
+    resident = is_buffer(lhs) or is_buffer(rhs)
+    if not resident:
+        lhs = np.asarray(lhs, dtype=np.int64)
+        rhs = np.asarray(rhs, dtype=np.int64)
+    if _shape(lhs)[-1] != _shape(rhs)[0]:
         raise ValueError(
-            "inner dimensions do not match: %s @ %s" % (lhs.shape, rhs.shape)
+            "inner dimensions do not match: %s @ %s" % (_shape(lhs), _shape(rhs))
         )
     row_moduli = np.asarray(row_moduli, dtype=np.int64)
-    per_term = int(lhs.max(initial=0)) * int(rhs.max(initial=0))
+    if operand_bound is None:
+        lhs_host = np.asarray(lhs, dtype=np.int64)
+        rhs_host = np.asarray(rhs, dtype=np.int64)
+        operand_bound = int(lhs_host.max(initial=0)) * int(rhs_host.max(initial=0))
+    per_term = operand_bound
     if per_term >= (1 << 63):
         # Even a chunk of one row would overflow int64: exact object path.
         column = row_moduli.reshape(-1, 1)
-        product = lhs.astype(object) @ rhs.astype(object)
-        return np.asarray(product % column, dtype=np.int64)
+        product = (np.asarray(lhs, dtype=np.int64).astype(object)
+                   @ np.asarray(rhs, dtype=np.int64).astype(object))
+        out = np.asarray(product % column, dtype=np.int64)
+        return as_buffer(out) if resident else out
+    if resident:
+        return resolve_backend(backend).matmul_rows_native(
+            as_buffer(lhs), as_buffer(rhs), row_moduli,
+            operand_bound=per_term)
     return resolve_backend(backend).matmul_rows(lhs, rhs, row_moduli,
                                                 operand_bound=per_term)

@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..backend.residency import contiguous, is_buffer
 from ..numtheory.modular import mat_mod_mul
 from .base import NttEngine
 from .gemm_utils import modular_matmul, modular_matmul_limbs
@@ -69,12 +70,18 @@ class MatrixNtt(NttEngine):
         return (raw * self.twiddles.degree_inverse) % self.modulus
 
     # -- limb-batched path (one 3-D GEMM per whole RNS polynomial) ------
+    # Residency-handle inputs select the stack's resident operand handle
+    # (device image cached, float image attached) and every shape op runs
+    # on the resident image, so the transform threads handles end-to-end:
+    # handle in → handle out with zero intermediate host copies.
     def forward_limbs(self, residues: np.ndarray,
                       moduli: Sequence[int]) -> np.ndarray:
         """Forward NTT of all limbs as one batched matmul over stacked ``W``."""
         residues, moduli_array = self._validate_limbs(residues, moduli)
+        residues = self._stage_resident(residues)
         stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
-        weights = stack.forward_matrices()
+        weights = (stack.forward_matrices_buffer() if is_buffer(residues)
+                   else stack.forward_matrices())
         return modular_matmul_limbs(
             weights, residues[:, :, None], moduli_array,
             lhs_cache=stack.forward_matrices_cache(),
@@ -84,8 +91,10 @@ class MatrixNtt(NttEngine):
                       moduli: Sequence[int]) -> np.ndarray:
         """Inverse NTT of all limbs as one batched matmul over stacked ``V``."""
         values, moduli_array = self._validate_limbs(values, moduli)
+        values = self._stage_resident(values)
         stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
-        weights = stack.inverse_matrices()
+        weights = (stack.inverse_matrices_buffer() if is_buffer(values)
+                   else stack.inverse_matrices())
         raw = modular_matmul_limbs(
             weights, values[:, :, None], moduli_array,
             lhs_cache=stack.inverse_matrices_cache(),
@@ -105,26 +114,30 @@ class MatrixNtt(NttEngine):
         entire ``(B, L, N)`` stack is a single backend launch.
         """
         stacks, moduli_array = self._validate_ops(stacks, moduli)
+        stacks = self._stage_resident(stacks)
         stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
-        weights = stack.forward_matrices()
-        rhs = np.ascontiguousarray(stacks.transpose(1, 2, 0))       # (L, N, B)
+        weights = (stack.forward_matrices_buffer() if is_buffer(stacks)
+                   else stack.forward_matrices())
+        rhs = contiguous(stacks.transpose(1, 2, 0))                 # (L, N, B)
         out = modular_matmul_limbs(
             weights, rhs, moduli_array,
             lhs_cache=stack.forward_matrices_cache(),
             backend=self.backend)
-        return np.ascontiguousarray(out.transpose(2, 0, 1))         # (B, L, N)
+        return contiguous(out.transpose(2, 0, 1))                   # (B, L, N)
 
     def inverse_ops(self, stacks: np.ndarray,
                     moduli: Sequence[int]) -> np.ndarray:
         """Inverse NTT of a whole ``(B, L, N)`` stack as one 3-D GEMM."""
         stacks, moduli_array = self._validate_ops(stacks, moduli)
+        stacks = self._stage_resident(stacks)
         stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
-        weights = stack.inverse_matrices()
-        rhs = np.ascontiguousarray(stacks.transpose(1, 2, 0))       # (L, N, B)
+        weights = (stack.inverse_matrices_buffer() if is_buffer(stacks)
+                   else stack.inverse_matrices())
+        rhs = contiguous(stacks.transpose(1, 2, 0))                 # (L, N, B)
         raw = modular_matmul_limbs(
             weights, rhs, moduli_array,
             lhs_cache=stack.inverse_matrices_cache(),
             backend=self.backend)
         raw = mat_mod_mul(raw, stack.degree_inverse_column[:, :, None],
                           moduli_array[:, None, None])
-        return np.ascontiguousarray(raw.transpose(2, 0, 1))         # (B, L, N)
+        return contiguous(raw.transpose(2, 0, 1))                   # (B, L, N)

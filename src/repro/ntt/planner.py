@@ -11,6 +11,11 @@ transforms whole RNS polynomials through :meth:`NttPlanner.forward_limbs` /
 :meth:`NttPlanner.inverse_limbs`, which resolve to **one** engine call per
 polynomial (the engine fuses the limb axis into a batched launch) instead
 of ``limb_count`` per-limb calls.
+
+Residency: every transform entry point accepts either host arrays or
+:class:`~repro.backend.residency.DeviceBuffer` handles and forwards them
+verbatim — the engines follow the funnel convention (handle in → handle
+out), so a resident polynomial transforms without ever touching host.
 """
 
 from __future__ import annotations

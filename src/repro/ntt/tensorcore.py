@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..backend.residency import as_ndarray
 from ..numtheory.bit_ops import SEGMENT_COUNT, segment_u32
 from ..tcu.fusion import fuse_partial_products, fuse_partial_products_limbs
 from ..tcu.gemm import TcuStats, TensorCoreGemm
@@ -97,9 +98,16 @@ class TensorCoreNtt(FourStepNtt):
         issues a *single* batched TCU GEMM covering all RNS limbs — the
         CUTLASS batched-GEMM launch of the paper — and the partial products
         are fused with per-limb moduli.
+
+        Residency boundary: the u8 segmentation is a host-side simulation
+        step, so handle operands are staged to host here (``as_ndarray``
+        counts the crossing on device backends) — the analogue of the
+        paper's explicit INT8 re-quantisation before a tensor-core launch.
         """
-        lhs_segments = segment_u32(np.asarray(lhs, dtype=np.int64))
-        rhs_segments = segment_u32(np.asarray(rhs, dtype=np.int64))
+        lhs = as_ndarray(lhs)
+        rhs = as_ndarray(rhs)
+        lhs_segments = segment_u32(lhs)
+        rhs_segments = segment_u32(rhs)
         lhs_active = [s for s in range(SEGMENT_COUNT) if lhs_segments[s].any()]
         rhs_active = [s for s in range(SEGMENT_COUNT) if rhs_segments[s].any()]
         limbs = lhs.shape[0]

@@ -17,6 +17,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..backend.residency import DeviceBuffer
 from ..numtheory.bit_ops import bit_reverse_permutation, ilog2, is_power_of_two
 from ..numtheory.modular import mod_inverse, mod_pow
 from ..numtheory.roots import find_negacyclic_root, root_powers
@@ -268,6 +269,7 @@ class TwiddleStack:
         )[:, None]
         self._stacks: Dict[str, np.ndarray] = {}
         self._float_caches: Dict[str, FloatOperandCache] = {}
+        self._buffers: Dict[str, DeviceBuffer] = {}
 
     @property
     def limb_count(self) -> int:
@@ -316,7 +318,49 @@ class TwiddleStack:
         self.four_step_inverse()
         return self._float("fs_v1"), self._float("fs_v3")
 
+    # -- resident operand handles (the device images of the stacks) ----
+    def forward_matrices_buffer(self) -> DeviceBuffer:
+        """Resident handle onto :meth:`forward_matrices` (float image attached)."""
+        return self._buffer("W_forward", self.forward_matrices)
+
+    def inverse_matrices_buffer(self) -> DeviceBuffer:
+        """Resident handle onto :meth:`inverse_matrices`."""
+        return self._buffer("W_inverse", self.inverse_matrices)
+
+    def four_step_forward_buffers(self) -> Tuple[DeviceBuffer, DeviceBuffer, DeviceBuffer]:
+        """Resident handles onto the ``(W1, W2, W3)`` stacks."""
+        self.four_step_forward()
+        return (self._buffer("fs_w1"), self._buffer("fs_w2"),
+                self._buffer("fs_w3"))
+
+    def four_step_inverse_buffers(self) -> Tuple[DeviceBuffer, DeviceBuffer, DeviceBuffer]:
+        """Resident handles onto the ``(V1, V2, V3)`` stacks."""
+        self.four_step_inverse()
+        return (self._buffer("fs_v1"), self._buffer("fs_v2"),
+                self._buffer("fs_v3"))
+
     # ------------------------------------------------------------------
+    def _buffer(self, key: str, build=None) -> DeviceBuffer:
+        """The shared :class:`DeviceBuffer` wrapping stacked operand ``key``.
+
+        One handle per stack and per process: a device backend uploads the
+        operand once and every later transform reuses the native image,
+        and the blas backend finds the float64 image pre-attached.  The
+        GEMM-operand stacks (every key except the Hadamard twiddles
+        ``fs_w2``/``fs_v2``) attach their float cache; twiddles are
+        immutable, so the handles are never invalidated — dropping the
+        stack via :func:`clear_twiddle_stacks` drops the handles with it.
+        """
+        buf = self._buffers.get(key)
+        if buf is None:
+            if build is not None:
+                build()
+            buf = DeviceBuffer.wrap(self._stacks[key])
+            if key not in ("fs_w2", "fs_v2"):
+                buf.attach_float_cache(self._float(key))
+            self._buffers[key] = buf
+        return buf
+
     def _stacked(self, key: str, extract) -> np.ndarray:
         if key not in self._stacks:
             if self._parent is not None:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..backend.registry import resolve_backend
+from ..backend.residency import as_buffer, is_buffer
 
 __all__ = [
     "mod_add",
@@ -240,7 +241,20 @@ def vec_mod_mul(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
 # argue for, with the limb dimension fused into the launch.  The launches
 # themselves run on the active compute backend (see :mod:`repro.backend`);
 # these wrappers own input coercion and the oversized-moduli exact path.
+#
+# Residency: like the GEMM funnels, every helper accepts host arrays *or*
+# :class:`~repro.backend.residency.DeviceBuffer` handles.  Handle in →
+# handle out: resident operands dispatch to the backend's ``*_native``
+# kernel and never stage through host, which is what lets a chain of
+# element-wise launches stay on the device between transforms.
 # ----------------------------------------------------------------------
+
+def _coerce(operand):
+    """Pass handles through untouched, coerce everything else to int64."""
+    if is_buffer(operand):
+        return operand
+    return _as_int64(operand)
+
 
 def moduli_column(moduli) -> np.ndarray:
     """Return ``moduli`` as an int64 ``(limbs, 1)`` broadcast column."""
@@ -252,25 +266,37 @@ def moduli_column(moduli) -> np.ndarray:
 
 def mat_mod_reduce(matrix: np.ndarray, moduli) -> np.ndarray:
     """Row-wise ``matrix[i] mod moduli[i]`` on a ``(limbs, N)`` matrix."""
-    matrix = _as_int64(matrix)
+    matrix = _coerce(matrix)
+    if is_buffer(matrix):
+        return resolve_backend(None).mat_reduce_native(matrix,
+                                                       moduli_column(moduli))
     return resolve_backend(None).mat_reduce(matrix, moduli_column(moduli))
 
 
 def mat_mod_add(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
     """Row-wise ``(a + b) mod moduli`` without overflow (reduced inputs)."""
-    return resolve_backend(None).mat_add(_as_int64(a), _as_int64(b),
-                                         moduli_column(moduli))
+    a, b = _coerce(a), _coerce(b)
+    if is_buffer(a) or is_buffer(b):
+        return resolve_backend(None).mat_add_native(
+            as_buffer(a), as_buffer(b), moduli_column(moduli))
+    return resolve_backend(None).mat_add(a, b, moduli_column(moduli))
 
 
 def mat_mod_sub(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
     """Row-wise ``(a - b) mod moduli`` without overflow (reduced inputs)."""
-    return resolve_backend(None).mat_sub(_as_int64(a), _as_int64(b),
-                                         moduli_column(moduli))
+    a, b = _coerce(a), _coerce(b)
+    if is_buffer(a) or is_buffer(b):
+        return resolve_backend(None).mat_sub_native(
+            as_buffer(a), as_buffer(b), moduli_column(moduli))
+    return resolve_backend(None).mat_sub(a, b, moduli_column(moduli))
 
 
 def mat_mod_neg(a: np.ndarray, moduli) -> np.ndarray:
     """Row-wise ``(-a) mod moduli``."""
-    return resolve_backend(None).mat_neg(_as_int64(a), moduli_column(moduli))
+    a = _coerce(a)
+    if is_buffer(a):
+        return resolve_backend(None).mat_neg_native(a, moduli_column(moduli))
+    return resolve_backend(None).mat_neg(a, moduli_column(moduli))
 
 
 def mat_mod_mul(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
@@ -280,12 +306,18 @@ def mat_mod_mul(a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
     from :mod:`repro.numtheory.primes` qualify); larger moduli fall back to
     exact object arithmetic.
     """
-    a = _as_int64(a)
-    b = _as_int64(b)
+    a = _coerce(a)
+    b = _coerce(b)
     column = moduli_column(moduli)
+    resident = is_buffer(a) or is_buffer(b)
     if int(column.max()) >= (1 << 31):
-        product = a.astype(object) * b.astype(object)
-        return np.asarray(product % column, dtype=np.int64)
+        product = (np.asarray(a, dtype=np.int64).astype(object)
+                   * np.asarray(b, dtype=np.int64).astype(object))
+        out = np.asarray(product % column, dtype=np.int64)
+        return as_buffer(out) if resident else out
+    if resident:
+        return resolve_backend(None).mat_mul_native(
+            as_buffer(a), as_buffer(b), column)
     return resolve_backend(None).mat_mul(a, b, column)
 
 
@@ -296,7 +328,7 @@ def mat_mod_scalar_mul(a: np.ndarray, scalars, moduli) -> np.ndarray:
     one scalar per limb; scalars may be arbitrary Python integers — they
     are reduced into the int64-safe range before the broadcast multiply.
     """
-    a = _as_int64(a)
+    a = _coerce(a)
     column = moduli_column(moduli)
     scalar_array = np.asarray(scalars, dtype=object)
     if scalar_array.ndim == 0:

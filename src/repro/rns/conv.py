@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..backend.residency import contiguous, is_buffer
 from ..numtheory.modular import mat_mod_mul, mod_inverse, moduli_column
 from ..ntt.gemm_utils import modular_matmul_rows
 from .poly import PolyDomain, RnsPolynomial
@@ -51,6 +52,14 @@ class BasisConverter:
         self._source_column = moduli_column(self.source_moduli)
         self._target_column = moduli_column(self.target_moduli)
         self._q_hat_inv_column = np.asarray(self.q_hat_inv, dtype=np.int64)[:, None]
+        # Conservative row-GEMM operand bound for resident inputs: the lhs
+        # rows hold ``q_hat mod p_j`` (< max target prime) and the rhs holds
+        # source residues (< max source prime).  A looser bound only shrinks
+        # the exact accumulation chunks — values are unchanged — and it
+        # spares the funnel a host materialisation just to scan a device
+        # operand.
+        self._resident_bound = ((max(self.target_moduli) - 1)
+                                * (max(self.source_moduli) - 1))
 
     def convert_residues(self, residues: np.ndarray) -> np.ndarray:
         """Convert a ``(len(source), N)`` residue matrix to the target basis.
@@ -58,16 +67,20 @@ class BasisConverter:
         The conversion is two fused launches: a row-wise scaled reduction
         ``y_i = [x_i * q_hat_inv_i]_{q_i}`` and a row-moduli GEMM
         ``out_j = (q_hat_mod_target[j] @ y) mod p_j`` — the shape the Conv
-        kernel takes on the GPU.
+        kernel takes on the GPU.  Residency handles thread straight
+        through both launches (handle in → handle out).
         """
-        residues = np.asarray(residues, dtype=np.int64)
+        resident = is_buffer(residues)
+        if not resident:
+            residues = np.asarray(residues, dtype=np.int64)
         if residues.shape[0] != len(self.source_moduli):
             raise ValueError("residue matrix does not match the source basis")
         # y_i = [x_i * q_hat_inv_i]_{q_i}; the funnel keeps the product
         # exact even for moduli at or above 2**31.
         y = mat_mod_mul(residues, self._q_hat_inv_column, self._source_column)
-        return modular_matmul_rows(self.q_hat_mod_target, y,
-                                   self._target_column[:, 0])
+        return modular_matmul_rows(
+            self.q_hat_mod_target, y, self._target_column[:, 0],
+            operand_bound=self._resident_bound if resident else None)
 
     def convert_residues_batch(self, stacks: np.ndarray) -> np.ndarray:
         """Convert a ``(B, len(source), N)`` residue stack in fused launches.
@@ -81,8 +94,10 @@ class BasisConverter:
         (both paths reduce fully, and the funnel keeps >= 2**31 moduli
         exact).
         """
-        stacks = np.asarray(stacks, dtype=np.int64)
-        if stacks.ndim != 3 or stacks.shape[1] != len(self.source_moduli):
+        resident = is_buffer(stacks)
+        if not resident:
+            stacks = np.asarray(stacks, dtype=np.int64)
+        if len(stacks.shape) != 3 or stacks.shape[1] != len(self.source_moduli):
             raise ValueError(
                 "expected a (B, %d, N) residue stack, got shape %s"
                 % (len(self.source_moduli), stacks.shape)
@@ -97,12 +112,13 @@ class BasisConverter:
         y = mat_mod_mul(stacks.reshape(batch * source_count, n),
                         tiled_inverses, tiled_moduli)
         # (T, S) @ (S, B*N): stream b occupies columns [b*N, (b+1)*N).
-        y_columns = np.ascontiguousarray(
+        y_columns = contiguous(
             y.reshape(batch, source_count, n).transpose(1, 0, 2)
         ).reshape(source_count, batch * n)
-        converted = modular_matmul_rows(self.q_hat_mod_target, y_columns,
-                                        self._target_column[:, 0])
-        return np.ascontiguousarray(
+        converted = modular_matmul_rows(
+            self.q_hat_mod_target, y_columns, self._target_column[:, 0],
+            operand_bound=self._resident_bound if resident else None)
+        return contiguous(
             converted.reshape(len(self.target_moduli), batch, n).transpose(1, 0, 2)
         )
 
@@ -116,7 +132,7 @@ class BasisConverter:
             raise ValueError("basis conversion requires the coefficient domain")
         if tuple(polynomial.moduli) != self.source_moduli:
             raise ValueError("polynomial basis does not match the converter's source basis")
-        converted = self.convert_residues(polynomial.residues)
+        converted = self.convert_residues(polynomial.buffer)
         return RnsPolynomial(polynomial.ring_degree, self.target_moduli, converted,
                              PolyDomain.COEFFICIENT)
 

@@ -17,6 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..backend.residency import contiguous, is_buffer
 from ..numtheory.modular import mat_mod_mul, mat_mod_sub, mod_inverse, moduli_column
 from .conv import BasisConverter
 from .poly import PolyDomain, RnsPolynomial
@@ -49,7 +50,9 @@ class ModDown:
         """Return ``round(polynomial / P)`` in the ciphertext basis.
 
         The subtraction and the multiply by ``P^{-1}`` are single 2-D
-        launches over all ciphertext limbs.
+        launches over all ciphertext limbs; the whole step threads the
+        polynomial's residency handle (Conv included), so a device-resident
+        operand never stages through host.
         """
         if polynomial.domain != PolyDomain.COEFFICIENT:
             raise ValueError("ModDown requires the coefficient domain")
@@ -57,10 +60,10 @@ class ModDown:
         if tuple(polynomial.moduli) != expected:
             raise ValueError("polynomial basis does not match this ModDown instance")
         ciphertext_count = len(self.ciphertext_moduli)
-        folded = self._converter.convert_residues(
-            polynomial.residues[ciphertext_count:])
+        buffer = polynomial.buffer
+        folded = self._converter.convert_residues(buffer[ciphertext_count:])
         column = self._ciphertext_column
-        diff = mat_mod_sub(polynomial.residues[:ciphertext_count], folded, column)
+        diff = mat_mod_sub(buffer[:ciphertext_count], folded, column)
         residues = mat_mod_mul(diff, self._p_inverse_column, column)
         return RnsPolynomial(polynomial.ring_degree, self.ciphertext_moduli,
                              residues, PolyDomain.COEFFICIENT)
@@ -75,9 +78,10 @@ class ModDown:
         :meth:`apply` on slice ``b`` (the funnel keeps >= 2**31 moduli
         exact).
         """
-        stacks = np.asarray(stacks, dtype=np.int64)
+        if not is_buffer(stacks):
+            stacks = np.asarray(stacks, dtype=np.int64)
         expected_limbs = len(self.ciphertext_moduli) + len(self.special_moduli)
-        if stacks.ndim != 3 or stacks.shape[1] != expected_limbs:
+        if len(stacks.shape) != 3 or stacks.shape[1] != expected_limbs:
             raise ValueError(
                 "expected a (B, %d, N) residue stack, got shape %s"
                 % (expected_limbs, stacks.shape)
@@ -87,7 +91,7 @@ class ModDown:
         if batch == 0:
             return np.zeros((0, ciphertext_count, n), dtype=np.int64)
         folded = self._converter.convert_residues_batch(
-            np.ascontiguousarray(stacks[:, ciphertext_count:]))
+            contiguous(stacks[:, ciphertext_count:]))
         tiled_moduli = np.tile(self._ciphertext_column, (batch, 1))
         tiled_inverses = np.tile(self._p_inverse_column, (batch, 1))
         diff = mat_mod_sub(

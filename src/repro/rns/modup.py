@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..backend.residency import concatenate_arrays, is_buffer
 from .conv import BasisConverter
 from .poly import PolyDomain, RnsPolynomial
 
@@ -30,38 +31,38 @@ class ModUp:
         self._converter = (
             BasisConverter(self.group_moduli, self._missing) if missing else None
         )
-        # Precomputed gather maps: target row j comes either from group row
-        # _from_group[j] (copy) or from converted row _from_missing[j].
+        # Precomputed gather map: the target matrix is one row gather out
+        # of the group rows concatenated with the Conv output rows (target
+        # row j comes from group row ``_gather[j]`` when present there, and
+        # from converted row ``_gather[j] - len(group)`` otherwise).  A
+        # single gather keeps the assembly a resident-image operation — no
+        # host-side scatter is needed for device-resident operands.
         group_index = {q: i for i, q in enumerate(self.group_moduli)}
         missing_index = {q: i for i, q in enumerate(self._missing)}
-        self._copy_mask = np.asarray(
-            [q in group_index for q in self.target_moduli], dtype=bool
-        )
-        self._from_group = np.asarray(
-            [group_index.get(q, 0) for q in self.target_moduli], dtype=np.int64
-        )
-        self._from_missing = np.asarray(
-            [missing_index.get(q, 0) for q in self.target_moduli], dtype=np.int64
+        self._gather = np.asarray(
+            [group_index[q] if q in group_index
+             else len(self.group_moduli) + missing_index[q]
+             for q in self.target_moduli],
+            dtype=np.int64,
         )
 
     def apply(self, polynomial: RnsPolynomial) -> RnsPolynomial:
         """Return ``polynomial`` represented in the target basis.
 
         A single Conv launch produces the missing limbs; the target matrix
-        is then assembled with two vectorised gathers (copy rows from the
-        group, converted rows from the Conv output).
+        is then one vectorised row gather over ``[group; converted]`` —
+        residency handles thread through Conv, concatenation and gather.
         """
         if polynomial.domain != PolyDomain.COEFFICIENT:
             raise ValueError("ModUp requires the coefficient domain")
         if tuple(polynomial.moduli) != self.group_moduli:
             raise ValueError("polynomial basis does not match this ModUp instance")
-        ring_degree = polynomial.ring_degree
-        out = np.empty((len(self.target_moduli), ring_degree), dtype=np.int64)
-        out[self._copy_mask] = polynomial.residues[self._from_group[self._copy_mask]]
+        combined = polynomial.buffer
         if self._converter is not None:
-            converted = self._converter.convert_residues(polynomial.residues)
-            out[~self._copy_mask] = converted[self._from_missing[~self._copy_mask]]
-        return RnsPolynomial(ring_degree, self.target_moduli, out,
+            converted = self._converter.convert_residues(combined)
+            combined = concatenate_arrays([combined, converted])
+        out = combined[self._gather]
+        return RnsPolynomial(polynomial.ring_degree, self.target_moduli, out,
                              PolyDomain.COEFFICIENT)
 
     def apply_batch(self, stacks: np.ndarray) -> np.ndarray:
@@ -74,18 +75,19 @@ class ModUp:
         ``b`` of the result is bit-identical to :meth:`apply` on slice
         ``b``.
         """
-        stacks = np.asarray(stacks, dtype=np.int64)
-        if stacks.ndim != 3 or stacks.shape[1] != len(self.group_moduli):
+        if not is_buffer(stacks):
+            stacks = np.asarray(stacks, dtype=np.int64)
+        if len(stacks.shape) != 3 or stacks.shape[1] != len(self.group_moduli):
             raise ValueError(
                 "expected a (B, %d, N) residue stack, got shape %s"
                 % (len(self.group_moduli), stacks.shape)
             )
-        batch, _, ring_degree = stacks.shape
-        out = np.empty((batch, len(self.target_moduli), ring_degree),
-                       dtype=np.int64)
-        out[:, self._copy_mask] = stacks[:, self._from_group[self._copy_mask]]
-        if self._converter is not None and batch:
+        batch = stacks.shape[0]
+        if batch == 0:
+            return np.zeros((0, len(self.target_moduli), stacks.shape[2]),
+                            dtype=np.int64)
+        combined = stacks
+        if self._converter is not None:
             converted = self._converter.convert_residues_batch(stacks)
-            out[:, ~self._copy_mask] = (
-                converted[:, self._from_missing[~self._copy_mask]])
-        return out
+            combined = concatenate_arrays([stacks, converted], axis=1)
+        return combined[:, self._gather]

@@ -15,15 +15,27 @@ moduli broadcast as a ``(limbs, 1)`` column, and the domain conversions
 hand the whole matrix to the NTT planner's limb-batched transforms.  This
 is the paper's operation-level batching argument applied to the limb axis:
 one fused launch per polynomial instead of ``limb_count`` small kernels.
+
+Residency
+---------
+The residue matrix lives behind a
+:class:`~repro.backend.residency.DeviceBuffer` handle (:attr:`buffer`):
+arithmetic and domain conversions thread the handle through the funnels,
+so on a device backend a chain of kernels keeps the polynomial
+device-resident and only :attr:`residues` (the host image, used at the
+encode / decrypt / serialize boundaries) forces a counted copy back.  The
+host image is authoritative — code that mutates ``poly.residues`` in
+place must call :meth:`invalidate_resident` before the next kernel uses
+the polynomial (the library itself never mutates residues in place).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from ..backend.residency import DeviceBuffer
 from ..numtheory.crt import CrtContext
 from ..numtheory.modular import (
     mat_mod_add,
@@ -44,7 +56,6 @@ class PolyDomain:
     EVALUATION = "evaluation"
 
 
-@dataclass
 class RnsPolynomial:
     """A polynomial in RNS representation.
 
@@ -55,29 +66,57 @@ class RnsPolynomial:
     moduli:
         The primes of this polynomial's basis (one row per prime).
     residues:
-        Int64 array of shape ``(len(moduli), ring_degree)``.
+        Int64 array of shape ``(len(moduli), ring_degree)``, or a
+        :class:`~repro.backend.residency.DeviceBuffer` handle of that
+        shape (kept resident — no host materialisation happens here).
     domain:
         Either :data:`PolyDomain.COEFFICIENT` or :data:`PolyDomain.EVALUATION`.
     """
 
-    ring_degree: int
-    moduli: Sequence[int]
-    residues: np.ndarray
-    domain: str = PolyDomain.COEFFICIENT
-
-    def __post_init__(self) -> None:
-        self.moduli = tuple(int(q) for q in self.moduli)
-        self.residues = np.asarray(self.residues, dtype=np.int64)
+    def __init__(self, ring_degree: int, moduli: Sequence[int],
+                 residues, domain: str = PolyDomain.COEFFICIENT) -> None:
+        self.ring_degree = ring_degree
+        self.moduli = tuple(int(q) for q in moduli)
+        self._buffer = DeviceBuffer.wrap(residues)
+        self.domain = domain
         expected = (len(self.moduli), self.ring_degree)
-        if self.residues.shape != expected:
+        if self._buffer.shape != expected:
             raise ValueError(
                 "residue matrix has shape %s, expected %s"
-                % (self.residues.shape, expected)
+                % (self._buffer.shape, expected)
             )
         if self.domain not in (PolyDomain.COEFFICIENT, PolyDomain.EVALUATION):
             raise ValueError("unknown polynomial domain %r" % self.domain)
         # Broadcast column reused by every vectorised arithmetic helper.
         self._moduli_column = np.asarray(self.moduli, dtype=np.int64)[:, None]
+
+    # ------------------------------------------------------------------
+    # Residency
+    # ------------------------------------------------------------------
+    @property
+    def residues(self) -> np.ndarray:
+        """The host ``(limbs, N)`` int64 image (materialised on demand)."""
+        return self._buffer.ensure_host()
+
+    @property
+    def buffer(self) -> DeviceBuffer:
+        """The residency handle backing this polynomial's residues."""
+        return self._buffer
+
+    def invalidate_resident(self) -> None:
+        """Drop derived resident images after an in-place host mutation.
+
+        The invalidation contract: ``poly.residues`` returns the live host
+        array, so in-place writes are visible immediately on host — but a
+        device image (or float64 operand image) built *before* the write
+        would be stale.  Callers that mutate in place must invalidate; all
+        library kernels allocate fresh outputs and never need to.
+        """
+        self._buffer.invalidate_device()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return ("RnsPolynomial(ring_degree=%d, limbs=%d, domain=%r)"
+                % (self.ring_degree, self.limb_count, self.domain))
 
     # ------------------------------------------------------------------
     # Constructors
@@ -161,7 +200,8 @@ class RnsPolynomial:
         return self.limb_count - 1
 
     def copy(self) -> "RnsPolynomial":
-        return RnsPolynomial(self.ring_degree, self.moduli, self.residues.copy(), self.domain)
+        return RnsPolynomial(self.ring_degree, self.moduli,
+                             self._buffer.copy(), self.domain)
 
     def limb(self, index: int) -> np.ndarray:
         """Residues of limb ``index``."""
@@ -179,17 +219,17 @@ class RnsPolynomial:
     def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Element-wise modular addition (the Ele-Add kernel)."""
         self._check_compatible(other)
-        residues = mat_mod_add(self.residues, other.residues, self._moduli_column)
+        residues = mat_mod_add(self._buffer, other._buffer, self._moduli_column)
         return RnsPolynomial(self.ring_degree, self.moduli, residues, self.domain)
 
     def subtract(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Element-wise modular subtraction (the Ele-Sub kernel)."""
         self._check_compatible(other)
-        residues = mat_mod_sub(self.residues, other.residues, self._moduli_column)
+        residues = mat_mod_sub(self._buffer, other._buffer, self._moduli_column)
         return RnsPolynomial(self.ring_degree, self.moduli, residues, self.domain)
 
     def negate(self) -> "RnsPolynomial":
-        residues = mat_mod_neg(self.residues, self._moduli_column)
+        residues = mat_mod_neg(self._buffer, self._moduli_column)
         return RnsPolynomial(self.ring_degree, self.moduli, residues, self.domain)
 
     def hadamard(self, other: "RnsPolynomial") -> "RnsPolynomial":
@@ -200,12 +240,12 @@ class RnsPolynomial:
         polynomials should go through the kernel layer or an NTT engine.
         """
         self._check_compatible(other)
-        residues = mat_mod_mul(self.residues, other.residues, self._moduli_column)
+        residues = mat_mod_mul(self._buffer, other._buffer, self._moduli_column)
         return RnsPolynomial(self.ring_degree, self.moduli, residues, self.domain)
 
     def scalar_multiply(self, scalar: int) -> "RnsPolynomial":
         """Multiply every residue by an integer scalar."""
-        residues = mat_mod_scalar_mul(self.residues, int(scalar), self._moduli_column)
+        residues = mat_mod_scalar_mul(self._buffer, int(scalar), self._moduli_column)
         return RnsPolynomial(self.ring_degree, self.moduli, residues, self.domain)
 
     def scalar_multiply_per_limb(self, scalars: Sequence[int]) -> "RnsPolynomial":
@@ -216,7 +256,7 @@ class RnsPolynomial:
         """
         if len(scalars) != self.limb_count:
             raise ValueError("need one scalar per limb")
-        residues = mat_mod_scalar_mul(self.residues, [int(s) for s in scalars],
+        residues = mat_mod_scalar_mul(self._buffer, [int(s) for s in scalars],
                                       self._moduli_column)
         return RnsPolynomial(self.ring_degree, self.moduli, residues, self.domain)
 
@@ -227,7 +267,8 @@ class RnsPolynomial:
         """Forward-NTT all limbs in one batched engine call."""
         if self.domain == PolyDomain.EVALUATION:
             return self.copy()
-        residues = planner.forward_limbs(self.ring_degree, self.moduli, self.residues)
+        residues = planner.forward_limbs(self.ring_degree, self.moduli,
+                                         self._buffer)
         return RnsPolynomial(self.ring_degree, self.moduli, residues,
                              PolyDomain.EVALUATION)
 
@@ -235,7 +276,8 @@ class RnsPolynomial:
         """Inverse-NTT all limbs in one batched engine call."""
         if self.domain == PolyDomain.COEFFICIENT:
             return self.copy()
-        residues = planner.inverse_limbs(self.ring_degree, self.moduli, self.residues)
+        residues = planner.inverse_limbs(self.ring_degree, self.moduli,
+                                         self._buffer)
         return RnsPolynomial(self.ring_degree, self.moduli, residues,
                              PolyDomain.COEFFICIENT)
 
@@ -250,7 +292,9 @@ class RnsPolynomial:
             indices = [index_of[q] for q in moduli]
         except KeyError as missing:
             raise ValueError("prime %s is not a limb of this polynomial" % missing) from None
-        return RnsPolynomial(self.ring_degree, moduli, self.residues[indices],
+        # Fancy row gather: a fresh matrix on the resident image.
+        return RnsPolynomial(self.ring_degree, moduli,
+                             self._buffer[np.asarray(indices, dtype=np.int64)],
                              self.domain)
 
     def drop_last_limb(self) -> "RnsPolynomial":
@@ -258,7 +302,7 @@ class RnsPolynomial:
         if self.limb_count <= 1:
             raise ValueError("cannot drop the only limb")
         return RnsPolynomial(self.ring_degree, self.moduli[:-1],
-                             self.residues[:-1].copy(), self.domain)
+                             self._buffer[:-1].copy(), self.domain)
 
     # ------------------------------------------------------------------
     def _check_compatible(self, other: "RnsPolynomial") -> None:
