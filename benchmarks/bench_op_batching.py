@@ -16,11 +16,13 @@ once and amortises it over ``B`` GEMM columns — the paper's data-reuse
 argument, and the fix for the "matrix engine is bandwidth-bound" ROADMAP
 item (~1.8x limb-batched gain capped by twiddle streaming becomes >3x once
 the B axis is fused).  The four-step engine has only ``O(N)`` twiddles, so
-there is nothing to amortise; on a CPU the cache-resident per-op loop is
-then at least as good as streaming ``B``-times-larger fused intermediates,
-and the row is tracked with a no-cliff floor instead of a speedup gate
-(on the paper's GPU the fused launch wins on launch-count alone, which the
-performance model, not this wall-clock harness, captures).
+there is nothing to amortise and the fused win must come from arithmetic
+instead: the float64-resident pipeline (lazy Barrett between the two
+dgemms, no int64 ``%`` passes — see ``FourStepNtt._float_ops_pipeline``)
+is what pushes the fused launch past the cache-resident per-op loop at
+large B.  The row is gated at parity-or-better for B >= 16 and tracked
+with a no-cliff floor at smaller batches, where the loop's cache
+residency still competes.
 
 The evaluator-level comparison runs batched CMULT streams through
 ``BatchedEvaluator`` against a sequential ``Evaluator`` loop on the
@@ -57,6 +59,9 @@ GATE_SCALE = float(os.environ.get("BENCH_GATE_SCALE", "1.0"))
 GATE_SPEEDUP = 2.0 * GATE_SCALE
 #: ...and must not fall off a cliff for the cache-friendly four-step loop.
 FOUR_STEP_FLOOR = 0.5 * GATE_SCALE
+#: At B >= 16 the four-step float-resident fused pipeline must at least
+#: match the per-ciphertext loop (it measures ~1.2x locally).
+FOUR_STEP_GATE = 1.0 * GATE_SCALE
 #: Batched CMULT streams must beat the sequential evaluator loop.
 CMULT_GATE = 1.5 * GATE_SCALE
 #: 20-bit primes keep every fused GEMM on the single-pass float64 BLAS
@@ -134,7 +139,8 @@ def test_op_batching_speedup(sweep):
             % (matrix["speedup"], gate_n, gate_batch)
         )
         four_step = sweep[("four_step", gate_n, gate_limbs, gate_batch)]
-        assert four_step["speedup"] >= FOUR_STEP_FLOOR, (
+        four_step_gate = FOUR_STEP_GATE if gate_batch >= 16 else FOUR_STEP_FLOOR
+        assert four_step["speedup"] >= four_step_gate, (
             "four_step: fused path fell to %.2fx at N=%d, B=%d"
             % (four_step["speedup"], gate_n, gate_batch)
         )

@@ -63,6 +63,15 @@ class ArrayBackend(abc.ABC):
     #: set False so every host↔device crossing is counted.
     device_is_host = True
 
+    #: Whether the float-resident element-wise kernels below (``f*``) are a
+    #: profitable substrate for this backend.  The engines and funnels only
+    #: take a float-resident fast path when this is True *and* the
+    #: :class:`~repro.numtheory.floatmod.BarrettChain` exactness guard
+    #: accepts the operand bounds; everything else keeps the int64 path.
+    #: The default implementations are plain numpy and correct everywhere —
+    #: the flag is about profit, not correctness.
+    supports_float_residency = False
+
     @classmethod
     def is_available(cls) -> bool:
         """Whether this backend can run in the current process.
@@ -156,6 +165,71 @@ class ArrayBackend(abc.ABC):
     @abc.abstractmethod
     def mat_mul(self, a: np.ndarray, b: np.ndarray, moduli: np.ndarray) -> np.ndarray:
         """Row-wise ``(a * b) mod moduli`` (Hada-Mult on matrices)."""
+
+    # ------------------------------------------------------------------
+    # Float-resident element-wise kernels (Barrett reduction on the FMA
+    # units, see :mod:`repro.numtheory.floatmod`).
+    #
+    # Operands and results are *canonical float64 residue images*: exact
+    # integers in [0, q) stored as float64, the form the 2**53-guarded
+    # GEMM fast paths already consume and produce.  Staying in that form
+    # between launches is what removes the int64 ``%`` passes from fused
+    # pipelines.  Callers own the exactness guard
+    # (``chain.fits(operand_bound)``); these kernels assume it holds.
+    # ------------------------------------------------------------------
+    def fmatmul(self, lhs: np.ndarray, rhs: np.ndarray,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Raw float64 matmul on resident float images (no reduction).
+
+        The dgemm hook of the float-resident pipeline: callers follow it
+        with :meth:`~repro.numtheory.floatmod.BarrettChain.lazy_reduce` /
+        ``canonical_reduce`` under their own operand bound.  ``out`` (which
+        must not alias either operand) lets hot pipelines write into a
+        reused scratch buffer instead of faulting fresh pages per launch.
+        """
+        return np.matmul(lhs, rhs, out=out)
+
+    def fhadamard_limbs(self, lhs: np.ndarray, rhs: np.ndarray, chain, *,
+                        axis: int = 0) -> np.ndarray:
+        """Element-wise multiply of float residue images, canonical result.
+
+        Exact when ``chain.fits((qmax - 1)**2)`` for canonical operands.
+        """
+        return chain.canonical_reduce(lhs * rhs, axis=axis)
+
+    def fadd_limbs(self, a: np.ndarray, b: np.ndarray, chain, *,
+                   axis: int = 0) -> np.ndarray:
+        """Element-wise ``(a + b) mod q`` on canonical float residue images."""
+        q_col, _ = chain.columns(a.ndim, axis)
+        out = a + b
+        np.subtract(out, q_col, out=out, where=out >= q_col)
+        return out
+
+    def fsub_limbs(self, a: np.ndarray, b: np.ndarray, chain, *,
+                   axis: int = 0) -> np.ndarray:
+        """Element-wise ``(a - b) mod q`` on canonical float residue images."""
+        q_col, _ = chain.columns(a.ndim, axis)
+        out = a - b
+        np.add(out, q_col, out=out, where=out < 0)
+        return out
+
+    def fscalar_mul_limbs(self, a: np.ndarray, scalars: np.ndarray, chain, *,
+                          axis: int = 0) -> np.ndarray:
+        """Per-limb scalar multiply on float residue images, canonical result.
+
+        ``scalars`` is a float64 array of canonical residues broadcastable
+        against ``a`` (e.g. a ``(limbs, 1)`` column).
+        """
+        return chain.canonical_reduce(a * scalars, axis=axis)
+
+    def freduce_limbs(self, values: np.ndarray, chain, *,
+                      axis: int = 0) -> np.ndarray:
+        """Canonical Barrett reduction of integer-valued float64 arrays.
+
+        Exact whenever ``chain.fits(max |values|)`` — the float-resident
+        analogue of :meth:`mat_reduce` for bounded intermediates.
+        """
+        return chain.canonical_reduce(values, axis=axis)
 
     # ------------------------------------------------------------------
     # Residency-aware variants: DeviceBuffer in, DeviceBuffer out.

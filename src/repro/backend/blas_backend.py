@@ -18,7 +18,8 @@ import numpy as np
 from .numpy_backend import NumpyBackend
 from .residency import DeviceBuffer
 
-__all__ = ["BlasFloat64Backend", "FloatOperandCache", "FLOAT_EXACT_LIMIT"]
+__all__ = ["BlasFloat64Backend", "FloatOperandCache", "FloatResidues",
+           "FLOAT_EXACT_LIMIT"]
 
 #: Largest integer magnitude float64 represents exactly (2**53); products and
 #: partial sums below this bound make a BLAS dgemm bit-exact.
@@ -58,6 +59,45 @@ class FloatOperandCache:
             lo = (self.matrix & ((1 << shift) - 1)).astype(np.float64)
             self._split = (shift, hi, lo)
         return self._split
+
+
+def _barrett_chain(moduli):
+    """Shared :class:`~repro.numtheory.floatmod.BarrettChain` for ``moduli``.
+
+    Imported lazily: :mod:`repro.numtheory` pulls in the backend registry,
+    which imports this module — a top-level import here would cycle.
+    """
+    from ..numtheory.floatmod import get_barrett_chain
+
+    return get_barrett_chain(moduli)
+
+
+class FloatResidues(FloatOperandCache):
+    """A float64-resident residue image whose int64 form is built lazily.
+
+    The output carrier of the float-resident kernel chains: ``values`` are
+    canonical residues already in float64, so ``full()`` is free and the
+    int64 ``matrix`` — which :meth:`~repro.backend.residency.DeviceBuffer.
+    ensure_host` asks for at the host boundary — is a single (exact)
+    truncating cast, deferred until someone actually needs int64.  Between
+    launches nothing int64 exists, which is the point: the chain's Barrett
+    reductions replace every intermediate ``%`` pass.
+    """
+
+    def __init__(self, values: np.ndarray, max_value: int) -> None:
+        self._values = values
+        self._matrix = None
+        self.max_value = int(max_value)
+        self._full = values
+        self._split = None
+
+    @property
+    def matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            out = np.empty(self._values.shape, dtype=np.int64)
+            np.copyto(out, self._values, casting="unsafe")
+            self._matrix = out
+        return self._matrix
 
 
 def float_matmul_limbs(lhs, rhs, column, inner, lhs_cache, rhs_cache):
@@ -115,6 +155,32 @@ class BlasFloat64Backend(NumpyBackend):
     """Guarded float64 BLAS substrate (bit-exact, int64 fallback)."""
 
     name = "blas"
+    supports_float_residency = True
+
+    # ------------------------------------------------------------------
+    # Float-residency helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _peek_float(buf: DeviceBuffer):
+        """A handle's attached float64 image, or None (never builds one)."""
+        cache = buf.float_cache()
+        return None if cache is None else cache.full()
+
+    def _float_operands(self, a: DeviceBuffer, b: DeviceBuffer):
+        """Float images for a binary kernel, or None when not worthwhile.
+
+        At least one side must already carry a float image (otherwise the
+        int64 path is at least as cheap as paying two conversions); the
+        other side is converted per call.
+        """
+        a_f, b_f = self._peek_float(a), self._peek_float(b)
+        if a_f is None and b_f is None:
+            return None
+        if a_f is None:
+            a_f = a.ensure_host().astype(np.float64)
+        if b_f is None:
+            b_f = b.ensure_host().astype(np.float64)
+        return a_f, b_f
 
     def matmul_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
                      moduli: np.ndarray, *,
@@ -147,6 +213,65 @@ class BlasFloat64Backend(NumpyBackend):
             lhs_cache = lhs.float_cache()
         if rhs_cache is None:
             rhs_cache = rhs.float_cache()
+        if lhs_cache is not None and rhs_cache is not None:
+            # Fully resident launch: both operands already have float64
+            # images, so the int64 hosts are never touched at all.
+            column = np.asarray(moduli, dtype=np.int64).reshape(-1, 1, 1)
+            inner = lhs.shape[2]
+            result = float_matmul_limbs(None, None, column, inner,
+                                        lhs_cache, rhs_cache)
+            if result is not None:
+                return DeviceBuffer.wrap(result)
         out = self.matmul_limbs(lhs.ensure_host(), rhs.ensure_host(), moduli,
                                 lhs_cache=lhs_cache, rhs_cache=rhs_cache)
         return DeviceBuffer.wrap(out)
+
+    # ------------------------------------------------------------------
+    # Float-resident element-wise natives: when an operand already lives
+    # as a float64 residue image, multiply/add/sub stay on the FMA units
+    # (lazy Barrett, see repro.numtheory.floatmod) and hand back another
+    # float-resident handle — no int64 materialisation mid-chain.
+    # ------------------------------------------------------------------
+    def hadamard_limbs_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
+                              moduli: np.ndarray) -> DeviceBuffer:
+        operands = self._float_operands(lhs, rhs)
+        if operands is not None:
+            chain = _barrett_chain(moduli)
+            if chain.fits((chain.qmax - 1) ** 2):
+                out = self.fhadamard_limbs(operands[0], operands[1], chain)
+                return DeviceBuffer.from_float(
+                    FloatResidues(out, chain.qmax - 1))
+        return super().hadamard_limbs_native(lhs, rhs, moduli)
+
+    def mat_mul_native(self, a: DeviceBuffer, b: DeviceBuffer,
+                       moduli: np.ndarray) -> DeviceBuffer:
+        operands = self._float_operands(a, b)
+        if operands is not None:
+            chain = _barrett_chain(moduli)
+            if chain.fits((chain.qmax - 1) ** 2):
+                out = self.fhadamard_limbs(operands[0], operands[1], chain)
+                return DeviceBuffer.from_float(
+                    FloatResidues(out, chain.qmax - 1))
+        return super().mat_mul_native(a, b, moduli)
+
+    def mat_add_native(self, a: DeviceBuffer, b: DeviceBuffer,
+                       moduli: np.ndarray) -> DeviceBuffer:
+        operands = self._float_operands(a, b)
+        if operands is not None:
+            chain = _barrett_chain(moduli)
+            if chain.fits(2 * (chain.qmax - 1)):
+                out = self.fadd_limbs(operands[0], operands[1], chain)
+                return DeviceBuffer.from_float(
+                    FloatResidues(out, chain.qmax - 1))
+        return super().mat_add_native(a, b, moduli)
+
+    def mat_sub_native(self, a: DeviceBuffer, b: DeviceBuffer,
+                       moduli: np.ndarray) -> DeviceBuffer:
+        operands = self._float_operands(a, b)
+        if operands is not None:
+            chain = _barrett_chain(moduli)
+            if chain.fits(2 * (chain.qmax - 1)):
+                out = self.fsub_limbs(operands[0], operands[1], chain)
+                return DeviceBuffer.from_float(
+                    FloatResidues(out, chain.qmax - 1))
+        return super().mat_sub_native(a, b, moduli)

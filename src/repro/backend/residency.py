@@ -7,16 +7,24 @@ funnel call round-tripped through host ``numpy.int64`` arrays (one
 never amortise its transfers and the blas backend rebuilt its float64
 operand images per call.
 
-:class:`DeviceBuffer` is the residency handle.  It wraps up to two images
+:class:`DeviceBuffer` is the residency handle.  It wraps up to three images
 of one int64 array:
 
 * a **host** image — a ``numpy.int64`` ndarray, the canonical exact form
-  used at the encode / decrypt / serialize boundaries; and
+  used at the encode / decrypt / serialize boundaries;
 * a **native** image — whatever the owning
   :class:`~repro.backend.base.ArrayBackend` stores (a torch/cupy tensor on
   an accelerator backend).  CPU backends declare ``device_is_host = True``
   and never materialise a separate native image, so residency is the
-  identity for them and every existing call site keeps working.
+  identity for them and every existing call site keeps working; and
+* a **float64 operand** image — the blas backend's residency.  Usually a
+  lazily attached conversion of the host image
+  (:class:`~repro.backend.blas_backend.FloatOperandCache`), but the
+  float-resident kernel chains also produce handles whose *only* image is
+  float64 (:class:`~repro.backend.blas_backend.FloatResidues`, via
+  :meth:`DeviceBuffer.from_float`): the int64 host form is then built on
+  first ``ensure_host()`` — a host-side cast, not a counted transfer — so
+  a chain of float-resident launches materialises no int64 intermediates.
 
 ``ensure_host()`` / ``ensure_device(backend)`` convert between the images
 on demand; each *crossing* (building one image from the other through a
@@ -101,15 +109,16 @@ class DeviceBuffer:
 
     def __init__(self, host: Optional[np.ndarray] = None, *,
                  native: Optional[object] = None,
-                 backend: Optional[object] = None) -> None:
-        if host is None and native is None:
+                 backend: Optional[object] = None,
+                 float_cache: Optional[object] = None) -> None:
+        if host is None and native is None and float_cache is None:
             raise ValueError("a DeviceBuffer needs at least one image")
         if native is not None and backend is None:
             raise ValueError("a native image needs its owning backend")
         self._host = host
         self._native = native
         self._backend = backend
-        self._float_cache = None
+        self._float_cache = float_cache
 
     # ------------------------------------------------------------------
     # Constructors
@@ -128,12 +137,27 @@ class DeviceBuffer:
             return cls(host=np.asarray(native, dtype=np.int64))
         return cls(native=native, backend=backend)
 
+    @classmethod
+    def from_float(cls, cache) -> "DeviceBuffer":
+        """Wrap a float64-resident residue image as a handle.
+
+        ``cache`` duck-types ``FloatOperandCache``: ``full()`` returns the
+        float64 values, ``.matrix`` the (lazily built) int64 form and
+        ``.max_value`` an upper bound on the entries.  The int64 host image
+        is only materialised when :meth:`ensure_host` is called — the
+        "no int64 until the host boundary" contract of the float-resident
+        kernel chains.
+        """
+        return cls(float_cache=cache)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def shape(self):
         image = self._host if self._host is not None else self._native
+        if image is None:
+            image = self._float_cache.full()
         return tuple(image.shape)
 
     @property
@@ -165,11 +189,20 @@ class DeviceBuffer:
     # Conversions (the transfer-counted crossings)
     # ------------------------------------------------------------------
     def ensure_host(self) -> np.ndarray:
-        """Return the host int64 image, converting (one D2H) if absent."""
+        """Return the host int64 image, converting (one D2H) if absent.
+
+        A float-resident handle (no host, no native image) materialises
+        int64 from its float64 image here — a host-side cast, so no
+        transfer is recorded.
+        """
         if self._host is None:
-            record_transfer(DEVICE_TO_HOST)
-            self._host = np.asarray(self._backend.from_device(self._native),
-                                    dtype=np.int64)
+            if self._native is None:
+                self._host = np.asarray(self._float_cache.matrix,
+                                        dtype=np.int64)
+            else:
+                record_transfer(DEVICE_TO_HOST)
+                self._host = np.asarray(self._backend.from_device(self._native),
+                                        dtype=np.int64)
         return self._host
 
     def ensure_device(self, backend) -> object:
@@ -197,8 +230,8 @@ class DeviceBuffer:
         so whoever writes to it must invalidate the handle before the next
         kernel launch reads a stale native image or float64 operand cache.
         """
-        if self._host is None and self._native is not None:
-            # Never strand a device-only handle without any image.
+        if self._host is None:
+            # Never strand a device- or float-only handle without an image.
             self.ensure_host()
         self._native = None
         self._backend = None
@@ -235,6 +268,13 @@ class DeviceBuffer:
         if self._on_device():
             return DeviceBuffer(native=native_op(self._backend, self._native),
                                 backend=self._backend)
+        if self._host is None and self._native is None:
+            # Float-resident handle: shape ops are dtype-agnostic, so they
+            # apply to the float64 image directly and the result stays
+            # float-resident (no int64 materialisation for a view chain).
+            cache = self._float_cache
+            return DeviceBuffer(
+                float_cache=type(cache)(host_op(cache.full()), cache.max_value))
         return DeviceBuffer(host=host_op(self.ensure_host()))
 
     def reshape(self, *shape) -> "DeviceBuffer":

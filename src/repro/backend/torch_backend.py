@@ -186,6 +186,35 @@ class TorchBackend(NumpyBackend):
         weight = (1 << shift) % column
         return (low + (high * weight) % column) % column
 
+    def _float_hadamard_limbs_t(self, lhs_t, rhs_t, column,
+                                qmax: int):  # pragma: no cover - needs torch
+        """Float64 element-wise modular multiply, exact or None.
+
+        The element-wise sibling of :meth:`_float_matmul_limbs_t` for
+        devices without int64 multiplies: a single float64 pass when the
+        residue product ``(q-1)**2`` fits the mantissa, otherwise the same
+        hi/lo split of the lhs operand (covers >27-bit primes); None when
+        even the split partials could round.
+        """
+        bound = qmax - 1
+
+        def combine(product):
+            return torch.round(product).to(torch.int64) % column
+
+        if bound * bound < FLOAT_EXACT_LIMIT:
+            return combine(lhs_t.double() * rhs_t.double())
+
+        shift = max(1, (bound.bit_length() + 1) // 2)
+        hi_max = max(1, bound >> shift)
+        lo_max = (1 << shift) - 1
+        if max(hi_max, lo_max) * bound >= FLOAT_EXACT_LIMIT:
+            return None
+        rhs_f = rhs_t.double()
+        high = combine((lhs_t >> shift).double() * rhs_f)
+        low = combine((lhs_t & ((1 << shift) - 1)).double() * rhs_f)
+        weight = (1 << shift) % column
+        return (low + (high * weight) % column) % column
+
     @staticmethod
     def _column_t(tensor_like, moduli):  # pragma: no cover - needs torch
         """Moduli broadcast column on the operand's device."""
@@ -256,7 +285,14 @@ class TorchBackend(NumpyBackend):
     def hadamard_limbs_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
                               moduli: np.ndarray) -> DeviceBuffer:  # pragma: no cover
         lhs_t = lhs.ensure_device(self)
-        out = (lhs_t * rhs.ensure_device(self)) % self._column_t(lhs_t, moduli)
+        rhs_t = rhs.ensure_device(self)
+        column = self._column_t(lhs_t, moduli)
+        if self.use_float64:
+            out = self._float_hadamard_limbs_t(
+                lhs_t, rhs_t, column, int(np.asarray(moduli).max()))
+            if out is not None:
+                return DeviceBuffer.from_native(out, self)
+        out = (lhs_t * rhs_t) % column
         return DeviceBuffer.from_native(out, self)
 
     def mat_reduce_native(self, matrix: DeviceBuffer,
@@ -288,5 +324,12 @@ class TorchBackend(NumpyBackend):
     def mat_mul_native(self, a: DeviceBuffer, b: DeviceBuffer,
                        moduli: np.ndarray) -> DeviceBuffer:  # pragma: no cover
         a_t = a.ensure_device(self)
-        out = (a_t * b.ensure_device(self)) % self._column_t(a_t, moduli)
+        b_t = b.ensure_device(self)
+        column = self._column_t(a_t, moduli)
+        if self.use_float64:
+            out = self._float_hadamard_limbs_t(
+                a_t, b_t, column, int(np.asarray(moduli).max()))
+            if out is not None:
+                return DeviceBuffer.from_native(out, self)
+        out = (a_t * b_t) % column
         return DeviceBuffer.from_native(out, self)

@@ -18,7 +18,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..backend.residency import contiguous, is_buffer
+from ..backend.blas_backend import FloatResidues
+from ..backend.registry import resolve_backend
+from ..backend.residency import DeviceBuffer, contiguous, is_buffer
 from ..numtheory.modular import mat_mod_mul
 from .base import NttEngine
 from .gemm_utils import (
@@ -43,6 +45,9 @@ class FourStepNtt(NttEngine):
         super().__init__(ring_degree, modulus, backend=backend)
         self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
         self.n1, self.n2 = self.twiddles.four_step_shapes()
+        # Shape-matched scratch for the float-resident ops pipeline (see
+        # _float_scratch); built lazily, replaced when the shape changes.
+        self._float_buffers = None
 
     # -- forward -------------------------------------------------------
     def forward(self, coefficients: np.ndarray) -> np.ndarray:
@@ -131,6 +136,9 @@ class FourStepNtt(NttEngine):
         stacks, moduli_array = self._validate_ops(stacks, moduli)
         stacks = self._stage_resident(stacks)
         stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
+        fused = self._float_ops_pipeline(stacks, stack, inverse=False)
+        if fused is not None:
+            return fused
         if is_buffer(stacks):
             w1, w2, w3 = stack.four_step_forward_buffers()
         else:
@@ -147,6 +155,9 @@ class FourStepNtt(NttEngine):
             return stacks
         stacks = self._stage_resident(stacks)
         stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
+        fused = self._float_ops_pipeline(stacks, stack, inverse=True)
+        if fused is not None:
+            return fused
         if is_buffer(stacks):
             v1, v2, v3 = stack.four_step_inverse_buffers()
         else:
@@ -162,6 +173,115 @@ class FourStepNtt(NttEngine):
             np.tile(stack.degree_inverse_column, (batch, 1)),
             np.tile(moduli_array, batch))
         return scaled.reshape(batch, limbs, self.ring_degree)
+
+    def _float_scratch(self, shape):
+        """Three reusable float64 buffers of ``shape`` (input, ping, pong).
+
+        The float pipeline's temporaries are tens of MB at production
+        shapes; faulting them in fresh per transform costs more than the
+        reduction arithmetic itself, so one shape-matched set lives on the
+        engine and is ping-ponged through.  Results that escape to the
+        caller are always fresh copies, never views of these buffers.
+        """
+        cached = self._float_buffers
+        if cached is None or cached[0].shape != shape:
+            cached = tuple(np.empty(shape, dtype=np.float64)
+                           for _ in range(3))
+            self._float_buffers = cached
+        return cached
+
+    def _float_ops_pipeline(self, stacks, stack, *, inverse: bool):
+        """Float64-resident three-launch pipeline, or None when ineligible.
+
+        The perf shape of the paper's tensor-core kernel: both GEMMs run as
+        raw dgemms on the ``(B, limbs, N1, N2)`` layout (a broadcast
+        ``matmul`` — no batch transpose, no contiguous copy between steps)
+        and every intermediate modular reduction is a lazy float64 Barrett
+        pass (:mod:`repro.numtheory.floatmod`) ping-ponged between two
+        buffers, so nothing int64 is materialised until the very end — and
+        for residency-handle inputs not even then: the result is a
+        float-resident handle whose int64 image is built lazily at the
+        host boundary.
+
+        Eligibility: the resolved backend opts in
+        (``supports_float_residency``), this engine's GEMM/Hadamard hooks
+        are not overridden (the tensor-core engine lowers them to INT8 and
+        must keep doing so), and the whole transform fits the 2**53
+        exactness guard.  Any miss returns None and the caller runs the
+        exact int64 pipeline — bit-identical either way.
+        """
+        if (type(self)._gemm_limbs is not FourStepNtt._gemm_limbs
+                or type(self)._hadamard_limbs is not FourStepNtt._hadamard_limbs):
+            return None
+        backend = resolve_backend(self.backend)
+        if not getattr(backend, "supports_float_residency", False):
+            return None
+        chain = stack.barrett_chain
+        q = chain.qmax
+        # Largest intermediate: the inner GEMM on canonical operands, the
+        # Hadamard on lazy residues (|x| <= 2q), or the outer GEMM on lazy
+        # residues; the inverse path's degree-inverse multiply on a lazy
+        # residue is bounded by 2q*(q-1) and already covered.
+        bound = max(self.n1 * (q - 1) ** 2, 2 * self.n2 * q * (q - 1))
+        if not chain.fits(bound):
+            return None
+        batch, limbs = stacks.shape[0], stacks.shape[1]
+        if batch == 0:
+            return None
+        if inverse:
+            g1_cache, g3_cache = stack.four_step_inverse_caches()
+            g2f = stack.four_step_inverse_hadamard_cache().full()
+        else:
+            g1_cache, g3_cache = stack.four_step_forward_caches()
+            g2f = stack.four_step_forward_hadamard_cache().full()
+        # Scratch reuse: three shape-matched float64 buffers live on the
+        # engine between calls.  Freshly mmapped 10s-of-MB temporaries cost
+        # more in page faults than the arithmetic they hold at these
+        # shapes, so the pipeline ping-pongs through warm buffers instead
+        # (results handed to the caller are always fresh copies below).
+        shape = (batch, limbs, self.n1, self.n2)
+        conv, work_a, work_b = self._float_scratch(shape)
+        a_f = None
+        if is_buffer(stacks):
+            cache = stacks.float_cache()
+            if cache is not None:
+                a_f = cache.full().reshape(shape)
+        if a_f is None:
+            host = (stacks.ensure_host() if is_buffer(stacks)
+                    else stacks)
+            np.copyto(conv.reshape(batch, limbs, self.ring_degree), host,
+                      casting="unsafe")
+            a_f = conv
+        # GEMM 1 (inner NTTs), lazy-reduced into the ping-pong buffer.
+        backend.fmatmul(g1_cache.full()[None], a_f, out=work_a)
+        lazy = chain.lazy_reduce(work_a, axis=1, out=work_b)
+        # Hadamard twiddle on lazy residues (broadcast over the batch).
+        np.multiply(lazy, g2f[None], out=work_a)
+        lazy = chain.lazy_reduce(work_a, axis=1, out=work_b)
+        # GEMM 2 (outer DFTs) and canonicalisation.  ``conv`` is free again
+        # (the converted input is only read by GEMM 1), so it takes the
+        # outer product.
+        outer = backend.fmatmul(lazy, g3_cache.full()[None], out=conv)
+        if inverse:
+            # Fold the degree-inverse multiply into the reduction chain:
+            # one lazy pass confines the residues, the scalar multiply
+            # stays within the guard, and the canonical passes finish.
+            lazy = chain.lazy_reduce(outer, axis=1, out=work_a)
+            np.multiply(
+                lazy, stack.degree_inverse_float.reshape(1, limbs, 1, 1),
+                out=outer)
+        result = chain.canonical_reduce(outer, axis=1, out=outer,
+                                        scratch=work_a)
+        # Column-major flattening of every (N1, N2) slice, per operation.
+        flat = result.transpose(0, 1, 3, 2)
+        if is_buffer(stacks):
+            values = np.ascontiguousarray(flat).reshape(
+                batch, limbs, self.ring_degree)
+            return DeviceBuffer.from_float(FloatResidues(values, q - 1))
+        # Merged transpose + cast: one pass writes the int64 output.
+        out = np.empty(flat.shape, dtype=np.int64)
+        np.copyto(out, flat, casting="unsafe")
+        return out.reshape(batch, limbs, self.ring_degree)
 
     def _ops_pipeline(self, stacks: np.ndarray, moduli_array: np.ndarray,
                       w1: np.ndarray, w2: np.ndarray, w3: np.ndarray,

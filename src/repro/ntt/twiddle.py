@@ -19,6 +19,7 @@ import numpy as np
 
 from ..backend.residency import DeviceBuffer
 from ..numtheory.bit_ops import bit_reverse_permutation, ilog2, is_power_of_two
+from ..numtheory.floatmod import BarrettChain, get_barrett_chain
 from ..numtheory.modular import mod_inverse, mod_pow
 from ..numtheory.roots import find_negacyclic_root, root_powers
 from .gemm_utils import FloatOperandCache
@@ -309,7 +310,7 @@ class TwiddleStack:
         return self._float("W_inverse", self.inverse_matrices)
 
     def four_step_forward_caches(self) -> Tuple[FloatOperandCache, FloatOperandCache]:
-        """Float caches for ``(W1, W3)`` (``W2`` is a Hadamard operand)."""
+        """Float caches for ``(W1, W3)`` (the GEMM operands)."""
         self.four_step_forward()
         return self._float("fs_w1"), self._float("fs_w3")
 
@@ -317,6 +318,42 @@ class TwiddleStack:
         """Float caches for ``(V1, V3)``."""
         self.four_step_inverse()
         return self._float("fs_v1"), self._float("fs_v3")
+
+    def four_step_forward_hadamard_cache(self) -> FloatOperandCache:
+        """Float cache for the forward Hadamard twiddle ``W2``.
+
+        The float-resident four-step pipeline multiplies lazy residues by
+        ``W2`` directly on the FMA units, so the Hadamard operand needs a
+        reusable float64 image just like the GEMM operands.
+        """
+        self.four_step_forward()
+        return self._float("fs_w2")
+
+    def four_step_inverse_hadamard_cache(self) -> FloatOperandCache:
+        """Float cache for the inverse Hadamard twiddle ``V2``."""
+        self.four_step_inverse()
+        return self._float("fs_v2")
+
+    # -- Barrett constants for the float-resident kernels ---------------
+    @property
+    def barrett_chain(self) -> BarrettChain:
+        """Precomputed float64 Barrett constants for this prime chain.
+
+        Shared process-wide per moduli tuple (prefix chains of one prime
+        sequence each get their own chain object, but the reciprocals are
+        computed once per prime thanks to the ``lru_cache`` backing
+        :func:`~repro.numtheory.floatmod.get_barrett_chain`).
+        """
+        return get_barrett_chain(self.moduli)
+
+    @property
+    def degree_inverse_float(self) -> np.ndarray:
+        """``degree_inverse_column`` as a reusable float64 ``(limbs, 1)`` image."""
+        cached = getattr(self, "_degree_inverse_float", None)
+        if cached is None:
+            cached = self.degree_inverse_column.astype(np.float64)
+            self._degree_inverse_float = cached
+        return cached
 
     # -- resident operand handles (the device images of the stacks) ----
     def forward_matrices_buffer(self) -> DeviceBuffer:
@@ -345,10 +382,11 @@ class TwiddleStack:
 
         One handle per stack and per process: a device backend uploads the
         operand once and every later transform reuses the native image,
-        and the blas backend finds the float64 image pre-attached.  The
-        GEMM-operand stacks (every key except the Hadamard twiddles
-        ``fs_w2``/``fs_v2``) attach their float cache; twiddles are
-        immutable, so the handles are never invalidated — dropping the
+        and the blas backend finds the float64 image pre-attached.  Every
+        stacked operand attaches its float cache — the GEMM stacks feed
+        the dgemm fast paths, and the Hadamard twiddles (``fs_w2`` /
+        ``fs_v2``) feed the float-resident element-wise kernels.  Twiddles
+        are immutable, so the handles are never invalidated — dropping the
         stack via :func:`clear_twiddle_stacks` drops the handles with it.
         """
         buf = self._buffers.get(key)
@@ -356,8 +394,7 @@ class TwiddleStack:
             if build is not None:
                 build()
             buf = DeviceBuffer.wrap(self._stacks[key])
-            if key not in ("fs_w2", "fs_v2"):
-                buf.attach_float_cache(self._float(key))
+            buf.attach_float_cache(self._float(key))
             self._buffers[key] = buf
         return buf
 

@@ -9,9 +9,11 @@ NTT engines and the RNS polynomial layer).
 
 The module also contains software implementations of Barrett and Montgomery
 reduction.  The GPU in the paper has no hardware modulo support, which is
-why TensorFHE goes to great lengths to avoid ``%`` — these classes let the
-rest of the library express exactly the reductions the CUDA kernels would
-perform, and let the tests verify they agree with plain ``%``.
+why TensorFHE goes to great lengths to avoid ``%`` — these scalar classes
+are the *reference* forms of those reductions, kept as the ground truth the
+tests pin the vectorised paths against.  The production float64 variant —
+lazy Barrett on the FMA units, used by the float-resident kernel chains —
+lives in :mod:`repro.numtheory.floatmod`.
 """
 
 from __future__ import annotations
@@ -142,11 +144,17 @@ class BarrettReducer:
 
 @dataclass
 class MontgomeryReducer:
-    """Montgomery reduction for a fixed odd modulus.
+    """Montgomery reduction for a fixed odd modulus (reference form).
 
     Values are kept in the Montgomery domain ``a * R mod q`` with
-    ``R = 2**r``.  Used by the butterfly NTT engine to emulate the
-    modulus-avoiding arithmetic the fastest CPU/GPU NTT libraries use.
+    ``R = 2**r``.  This is the scalar reference for the modulus-avoiding
+    arithmetic the fastest CPU/GPU NTT libraries use; the library's hot
+    paths reduce with float64 Barrett instead
+    (:mod:`repro.numtheory.floatmod`), whose per-prime constants are
+    cheaper to apply on FMA units than a domain conversion round-trip.
+    Domain mapping is a plain multiply — ``(a * r) % q`` in, then
+    ``reduce`` (which divides by ``R``) back out — so no dedicated
+    conversion helpers are kept here.
     """
 
     modulus: int
@@ -160,17 +168,8 @@ class MontgomeryReducer:
         self.r_bits = q.bit_length()
         self.r = 1 << self.r_bits
         self.r_mask = self.r - 1
-        self.r_inv = mod_inverse(self.r % q, q)
         # q_prime satisfies q * q_prime == -1 (mod R)
         self.q_prime = (-mod_inverse(q, self.r)) % self.r
-
-    def to_montgomery(self, a: int) -> int:
-        """Map ``a`` into the Montgomery domain."""
-        return (a * self.r) % self.modulus
-
-    def from_montgomery(self, a_mont: int) -> int:
-        """Map a Montgomery-domain value back to a plain residue."""
-        return (a_mont * self.r_inv) % self.modulus
 
     def reduce(self, t: int) -> int:
         """Montgomery-reduce ``t`` (``0 <= t < q * R``)."""

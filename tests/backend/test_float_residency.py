@@ -1,0 +1,325 @@
+"""Float-resident kernel chains: parity, residency, guard fallback.
+
+Three layers of coverage for the float64 Barrett pipeline:
+
+* the backend ``f*`` kernels — bit-parity with the int64 ``%`` reference
+  on canonical residue images, including the ``out=`` scratch contract of
+  ``fmatmul``;
+* the blas float-resident natives — a handle carrying a float64 image in
+  produces a *float-only* handle out (``host_image`` is None, no int64
+  anywhere mid-chain, zero recorded transfers), bit-identical to the host
+  funnel path, with the 2**53 guard falling back to int64 exactly where
+  it must;
+* the four-step engine pipeline — fused ``forward_ops``/``inverse_ops``
+  on blas match the numpy engine bit-for-bit, keep handle outputs
+  float-resident, and reject out-of-guard chains onto the historical
+  int64 path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    DeviceBuffer,
+    FloatOperandCache,
+    as_ndarray,
+    get_backend,
+    track_transfers,
+    use_backend,
+)
+from repro.backend.blas_backend import FloatResidues
+from repro.kernels.base import KernelCounter
+from repro.ntt import NttPlanner
+from repro.ntt.gemm_utils import modular_hadamard_limbs, modular_matmul_limbs
+from repro.numtheory import generate_ntt_primes
+from repro.numtheory.floatmod import get_barrett_chain
+from repro.numtheory.modular import mat_mod_add, mat_mod_mul, mat_mod_sub
+
+
+def _chain(bits, limbs=4, ring_degree=1024):
+    return get_barrett_chain(generate_ntt_primes(limbs, bits, ring_degree))
+
+
+def _residues(rng, chain, count=64):
+    """Canonical residues, one row per limb, as (int64, float64) images."""
+    q_col = chain.moduli_array[:, None]
+    ints = rng.integers(0, q_col, size=(chain.limb_count, count))
+    return ints, ints.astype(np.float64)
+
+
+class TestFloatKernels:
+    """Backend ``f*`` kernels agree bit-for-bit with the ``%`` reference."""
+
+    @pytest.fixture()
+    def backend(self):
+        return get_backend("blas")
+
+    @pytest.mark.parametrize("bits", [20, 26])
+    def test_fhadamard_parity(self, backend, rng, bits):
+        chain = _chain(bits)
+        a_int, a_f = _residues(rng, chain)
+        b_int, b_f = _residues(rng, chain)
+        assert chain.fits((chain.qmax - 1) ** 2)
+        got = backend.fhadamard_limbs(a_f, b_f, chain)
+        want = (a_int * b_int) % chain.moduli_array[:, None]
+        assert np.array_equal(got.astype(np.int64), want)
+
+    def test_fadd_fsub_parity(self, backend, rng):
+        chain = _chain(27)
+        q_col = chain.moduli_array[:, None]
+        a_int, a_f = _residues(rng, chain)
+        b_int, b_f = _residues(rng, chain)
+        add = backend.fadd_limbs(a_f, b_f, chain)
+        sub = backend.fsub_limbs(a_f, b_f, chain)
+        assert np.array_equal(add.astype(np.int64), (a_int + b_int) % q_col)
+        assert np.array_equal(sub.astype(np.int64), (a_int - b_int) % q_col)
+        # Results are canonical, so they can feed the next launch directly.
+        assert np.all(add >= 0) and np.all(add < q_col)
+        assert np.all(sub >= 0) and np.all(sub < q_col)
+
+    def test_fscalar_mul_and_freduce_parity(self, backend, rng):
+        chain = _chain(20)
+        q_col = chain.moduli_array[:, None]
+        a_int, a_f = _residues(rng, chain)
+        scalars = rng.integers(1, q_col, size=(chain.limb_count, 1))
+        got = backend.fscalar_mul_limbs(a_f, scalars.astype(np.float64), chain)
+        assert np.array_equal(got.astype(np.int64), (a_int * scalars) % q_col)
+        raw = rng.integers(0, chain.qmax ** 2, size=(chain.limb_count, 64))
+        reduced = backend.freduce_limbs(raw.astype(np.float64), chain)
+        assert np.array_equal(reduced.astype(np.int64), raw % q_col)
+
+    def test_fmatmul_out_contract(self, backend, rng):
+        lhs = rng.integers(0, 97, (3, 8, 8)).astype(np.float64)
+        rhs = rng.integers(0, 97, (3, 8, 5)).astype(np.float64)
+        out = np.empty((3, 8, 5), dtype=np.float64)
+        got = backend.fmatmul(lhs, rhs, out=out)
+        assert got is out
+        assert np.array_equal(got, np.matmul(lhs, rhs))
+
+    def test_limb_axis_one(self, backend, rng):
+        """(B, L, N) stacks reduce along axis=1, matching the fused layout."""
+        chain = _chain(20)
+        q_col = chain.moduli_array[None, :, None]
+        ints = rng.integers(0, q_col, size=(2, chain.limb_count, 16))
+        got = backend.fhadamard_limbs(ints.astype(np.float64),
+                                      ints.astype(np.float64), chain, axis=1)
+        assert np.array_equal(got.astype(np.int64), (ints * ints) % q_col)
+
+
+class TestFloatResidues:
+    def test_lazy_int64_materialisation(self):
+        values = np.asarray([[3.0, 7.0], [1.0, 0.0]])
+        cache = FloatResidues(values, 7)
+        assert cache.full() is values          # float image is free
+        first = cache.matrix                    # cast happens here, once
+        assert first.dtype == np.int64
+        assert cache.matrix is first
+        assert np.array_equal(first, values.astype(np.int64))
+
+
+class TestBlasFloatNatives:
+    """Float image in → float-only handle out, guarded, bit-identical."""
+
+    BITS = 20
+
+    @pytest.fixture()
+    def data(self, rng):
+        chain = _chain(self.BITS)
+        a_int, a_f = _residues(rng, chain)
+        b_int, b_f = _residues(rng, chain)
+        return chain, a_int, b_int
+
+    def _float_handle(self, ints):
+        return DeviceBuffer.wrap(ints).attach_float_cache(FloatOperandCache(ints))
+
+    @pytest.mark.parametrize("fn", [mat_mod_mul, mat_mod_add, mat_mod_sub])
+    def test_mat_funnels_stay_float_resident(self, data, fn):
+        chain, a_int, b_int = data
+        column = chain.moduli_array[:, None]
+        want = fn(a_int, b_int, column)
+        counter = KernelCounter()
+        with use_backend("blas"), track_transfers(counter):
+            got = fn(self._float_handle(a_int), self._float_handle(b_int),
+                     column)
+            assert isinstance(got, DeviceBuffer)
+            # Float-only output: no int64 image exists until the boundary.
+            assert got.host_image is None
+            assert isinstance(got.float_cache(), FloatResidues)
+        assert counter.transfer_total() == 0
+        assert np.array_equal(got.ensure_host(), want)
+
+    def test_hadamard_funnel_one_float_side(self, data):
+        """One float-carrying side is enough; the other converts per call."""
+        chain, a_int, b_int = data
+        moduli = chain.moduli_array
+        want = modular_hadamard_limbs(a_int, b_int, moduli)
+        with use_backend("blas"):
+            got = modular_hadamard_limbs(self._float_handle(a_int),
+                                         DeviceBuffer.wrap(b_int), moduli)
+        assert got.host_image is None
+        assert np.array_equal(got.ensure_host(), want)
+
+    def test_no_float_image_falls_back_to_int64(self, data):
+        """Neither side resident: the historical int64 native runs."""
+        chain, a_int, b_int = data
+        moduli = chain.moduli_array
+        want = modular_hadamard_limbs(a_int, b_int, moduli)
+        with use_backend("blas"):
+            got = modular_hadamard_limbs(DeviceBuffer.wrap(a_int),
+                                         DeviceBuffer.wrap(b_int), moduli)
+        assert got.host_image is not None
+        assert np.array_equal(as_ndarray(got), want)
+
+    def test_guard_rejection_falls_back_bit_identical(self, rng):
+        """30-bit products break 2**53: the native must take the int path."""
+        chain = _chain(30)
+        assert not chain.fits((chain.qmax - 1) ** 2)
+        a_int, _ = _residues(rng, chain)
+        b_int, _ = _residues(rng, chain)
+        want = modular_hadamard_limbs(a_int, b_int, chain.moduli_array)
+        with use_backend("blas"):
+            got = modular_hadamard_limbs(self._float_handle(a_int),
+                                         self._float_handle(b_int),
+                                         chain.moduli_array)
+        assert got.host_image is not None          # int64 path produced it
+        assert np.array_equal(as_ndarray(got), want)
+
+    def test_chained_launches_materialise_no_int64(self, data):
+        """A mul → add → sub chain stays float-resident end to end."""
+        chain, a_int, b_int = data
+        column = chain.moduli_array[:, None]
+        want = ((a_int * b_int) % column + a_int - b_int) % column
+        with use_backend("blas"):
+            a = self._float_handle(a_int)
+            b = self._float_handle(b_int)
+            product = mat_mod_mul(a, b, column)
+            total = mat_mod_add(product, a, column)
+            result = mat_mod_sub(total, b, column)
+            for stage in (product, total, result):
+                assert stage.host_image is None
+        assert np.array_equal(result.ensure_host(), want)
+
+    def test_float_output_feeds_batched_gemm(self, data, rng):
+        """FloatResidues output flows into the fully-resident dgemm path."""
+        chain, a_int, b_int = data
+        moduli = chain.moduli_array
+        twiddle = rng.integers(0, chain.moduli_array[:, None, None],
+                               size=(chain.limb_count, 64, 64))
+        lhs_want = modular_hadamard_limbs(a_int, b_int, moduli)
+        want = modular_matmul_limbs(lhs_want.reshape(chain.limb_count, 1, 64),
+                                    twiddle, moduli)
+        with use_backend("blas"):
+            product = modular_hadamard_limbs(self._float_handle(a_int),
+                                             self._float_handle(b_int), moduli)
+            lhs = product.reshape(chain.limb_count, 1, 64)
+            assert lhs.host_image is None          # the view stayed float
+            got = modular_matmul_limbs(
+                lhs, self._float_handle(twiddle), moduli)
+        assert np.array_equal(as_ndarray(got), as_ndarray(want))
+
+
+class TestFloatHandleViews:
+    """Shape ops on float-only handles never materialise int64."""
+
+    def test_view_chain_stays_float_resident(self):
+        values = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+        buf = DeviceBuffer.from_float(FloatResidues(values, 23))
+        view = buf.reshape(6, 4).transpose(1, 0)[:2]
+        assert view.host_image is None
+        expected = values.reshape(6, 4).transpose(1, 0)[:2]
+        assert np.array_equal(view.float_cache().full(), expected)
+        assert np.array_equal(view.ensure_host(),
+                              expected.astype(np.int64))
+
+    def test_ensure_host_records_no_transfer(self):
+        counter = KernelCounter()
+        buf = DeviceBuffer.from_float(
+            FloatResidues(np.asarray([[5.0, 6.0]]), 6))
+        with track_transfers(counter):
+            host = buf.ensure_host()
+        assert counter.transfer_total() == 0        # host-side cast only
+        assert host.dtype == np.int64
+        assert np.array_equal(host, [[5, 6]])
+
+
+class TestFourStepFloatPipeline:
+    """The fused engine pipeline: parity, residency, guard fallback."""
+
+    N = 1024
+    LIMBS = 4
+    BATCH = 4
+
+    def _stacks(self, bits, seed=17):
+        primes = generate_ntt_primes(self.LIMBS, bits, self.N)
+        rng = np.random.default_rng(seed)
+        stacks = np.stack([
+            np.stack([rng.integers(0, q, self.N, dtype=np.int64)
+                      for q in primes])
+            for _ in range(self.BATCH)
+        ])
+        return primes, stacks
+
+    def test_forward_ops_parity_with_numpy_engine(self):
+        primes, stacks = self._stacks(20)
+        blas = NttPlanner("four_step", backend="blas")
+        reference = NttPlanner("four_step", backend="numpy")
+        got = blas.forward_ops(self.N, primes, stacks)
+        want = reference.forward_ops(self.N, primes, stacks)
+        assert isinstance(got, np.ndarray) and got.dtype == np.int64
+        assert np.array_equal(got, np.asarray(want))
+
+    def test_inverse_roundtrip(self):
+        primes, stacks = self._stacks(20)
+        planner = NttPlanner("four_step", backend="blas")
+        forward = planner.forward_ops(self.N, primes, stacks)
+        back = planner.inverse_ops(self.N, primes, forward)
+        assert np.array_equal(np.asarray(back), stacks)
+
+    def test_handle_in_float_handle_out_zero_transfers(self):
+        primes, stacks = self._stacks(20)
+        planner = NttPlanner("four_step", backend="blas")
+        want = planner.forward_ops(self.N, primes, stacks)
+        counter = KernelCounter()
+        with use_backend("blas"), track_transfers(counter):
+            got = planner.forward_ops(self.N, primes, DeviceBuffer.wrap(stacks))
+        assert isinstance(got, DeviceBuffer)
+        assert got.host_image is None              # float-resident output
+        assert isinstance(got.float_cache(), FloatResidues)
+        assert counter.transfer_total() == 0
+        assert np.array_equal(got.ensure_host(), np.asarray(want))
+
+    def test_guard_rejection_takes_int64_path(self):
+        """27-bit primes break n1 * (q-1)**2 < 2**53 at N=1024: fallback."""
+        primes, stacks = self._stacks(27)
+        chain = get_barrett_chain(primes)
+        n1 = int(np.sqrt(self.N))
+        assert not chain.fits(n1 * (chain.qmax - 1) ** 2)
+        blas = NttPlanner("four_step", backend="blas")
+        reference = NttPlanner("four_step", backend="numpy")
+        want = reference.forward_ops(self.N, primes, stacks)
+        with use_backend("blas"):
+            got = blas.forward_ops(self.N, primes, DeviceBuffer.wrap(stacks))
+        assert np.array_equal(as_ndarray(got), np.asarray(want))
+
+    def test_results_do_not_alias_engine_scratch(self):
+        """Back-to-back launches reuse scratch but hand out fresh results."""
+        primes, stacks = self._stacks(20)
+        planner = NttPlanner("four_step", backend="blas")
+        first = np.asarray(planner.forward_ops(self.N, primes, stacks))
+        snapshot = first.copy()
+        second = np.asarray(planner.forward_ops(self.N, primes, stacks))
+        assert not np.shares_memory(first, second)
+        assert np.array_equal(first, snapshot)     # untouched by relaunch
+        assert np.array_equal(first, second)
+
+    def test_kernel_counter_parity_between_paths(self):
+        """Engine-internal float residency is invisible to instrumentation."""
+        primes, stacks = self._stacks(20)
+        blas = NttPlanner("four_step", backend="blas")
+        reference = NttPlanner("four_step", backend="numpy")
+        blas_counter, ref_counter = KernelCounter(), KernelCounter()
+        with track_transfers(blas_counter):
+            blas.forward_ops(self.N, primes, stacks)
+        with track_transfers(ref_counter):
+            reference.forward_ops(self.N, primes, stacks)
+        assert blas_counter.transfer_total() == ref_counter.transfer_total() == 0

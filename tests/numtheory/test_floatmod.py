@@ -1,0 +1,182 @@
+"""Float64 Barrett reduction: bit-parity with ``%`` at the 2**53 edge.
+
+The float-resident kernel chains stand on two claims proved here:
+
+* the round-up reciprocal makes the canonical pass *exactly* ``x % q`` for
+  every in-guard input — including the classes where the round-nearest
+  reciprocal demonstrably fails (exact multiples of ``q``);
+* the ``fits`` guard is the precise boundary: inputs just inside 2**53
+  reduce exactly, and chains whose intermediates would cross it are
+  rejected so callers fall back to int64.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.numtheory import generate_ntt_primes
+from repro.numtheory.floatmod import (
+    FLOAT_EXACT_LIMIT,
+    BarrettChain,
+    barrett_inverse,
+    get_barrett_chain,
+)
+
+N = 4096  # ring degree constraining the NTT primes (q = 1 mod 2N)
+
+
+def chain_for(bits: int, limbs: int = 6) -> BarrettChain:
+    return get_barrett_chain(generate_ntt_primes(limbs, bits, N))
+
+
+def reference(values: np.ndarray, chain: BarrettChain) -> np.ndarray:
+    column = chain.moduli_array.reshape((-1,) + (1,) * (values.ndim - 1))
+    return np.asarray(values, dtype=np.int64) % column
+
+
+class TestBarrettInverse:
+    def test_round_up_property(self):
+        # The defining property: the smallest float64 >= 1/q, i.e. the
+        # inverse is >= 1/q but one ulp down is < 1/q.
+        for q in generate_ntt_primes(16, 27, N):
+            inv = barrett_inverse(q)
+            assert Fraction(inv) * q >= 1
+            below = float(np.nextafter(inv, -np.inf))
+            assert Fraction(below) * q < 1
+
+    def test_rejects_degenerate_modulus(self):
+        with pytest.raises(ValueError):
+            barrett_inverse(1)
+        with pytest.raises(ValueError):
+            barrett_inverse(0)
+
+    def test_exact_power_of_two_not_bumped(self):
+        # 1/2**k is exactly representable; the Fraction check must not
+        # bump an already-exact reciprocal (2**k is not prime, but the
+        # reducer itself is modulus-agnostic).
+        assert barrett_inverse(1 << 20) == 1.0 / (1 << 20)
+
+
+class TestCanonicalParity:
+    @pytest.mark.parametrize("bits", [20, 27, 30])
+    def test_randomized_quotients(self, bits, rng):
+        chain = chain_for(bits)
+        # Largest safe magnitude per the guard, spread across quotients.
+        limit = FLOAT_EXACT_LIMIT - chain.qmax - 1
+        values = rng.integers(0, limit, size=(chain.limb_count, 512))
+        assert chain.fits(int(values.max()))
+        got = chain.canonical_reduce(values.astype(np.float64))
+        assert np.array_equal(got.astype(np.int64), reference(values, chain))
+        assert np.array_equal(got, got.astype(np.int64).astype(np.float64))
+
+    @pytest.mark.parametrize("bits", [20, 27, 30])
+    def test_worst_case_operand_classes(self, bits):
+        # The inputs where a float reducer historically breaks: exact
+        # multiples of q (the round-nearest reciprocal failure class),
+        # multiples +- 1, and worst-case (q-1)**2-shaped products.
+        chain = chain_for(bits)
+        columns = []
+        for q in chain.moduli:
+            k_max = (FLOAT_EXACT_LIMIT - chain.qmax - 1) // q
+            # (q-1)**2 only fits the guard for small primes; larger chains
+            # exercise the same product shape at the largest in-guard
+            # quotient instead.
+            product = (q - 1) * (q - 1)
+            if not chain.fits(product):
+                product = (k_max - 1) * q + (q - 1)
+            picks = [0, 1, q - 1, q, q + 1, product,
+                     k_max * q - 1, k_max * q, (k_max - 1) * q + 1]
+            columns.append(picks)
+        values = np.asarray(columns, dtype=np.int64)
+        assert chain.fits(int(values.max()))
+        got = chain.canonical_reduce(values.astype(np.float64))
+        assert np.array_equal(got.astype(np.int64), reference(values, chain))
+
+    @pytest.mark.parametrize("bits", [20, 27])
+    def test_negative_lazy_window(self, bits, rng):
+        # Lazy residues from a subtraction-shaped step are negative; the
+        # canonical pass must map (-q, 0) onto [0, q) exactly.
+        chain = chain_for(bits)
+        q_col = chain.moduli_array[:, None]
+        residues = rng.integers(0, q_col, size=(chain.limb_count, 256))
+        negatives = residues - q_col  # in (-q, 0]
+        got = chain.canonical_reduce(negatives.astype(np.float64))
+        assert np.array_equal(got.astype(np.int64), reference(negatives, chain))
+
+    def test_lazy_reduce_window_and_congruence(self, rng):
+        chain = chain_for(27)
+        q_col = chain.moduli_array[:, None]
+        values = rng.integers(0, (FLOAT_EXACT_LIMIT - chain.qmax) // 2,
+                              size=(chain.limb_count, 256))
+        lazy = chain.lazy_reduce(values.astype(np.float64))
+        assert np.all(lazy > -q_col)
+        assert np.all(lazy < 2 * q_col)
+        assert np.array_equal(lazy.astype(np.int64) % q_col,
+                              reference(values, chain))
+
+    def test_out_and_scratch_buffers(self, rng):
+        chain = chain_for(20)
+        values = rng.integers(0, chain.qmax ** 2,
+                              size=(chain.limb_count, 64)).astype(np.float64)
+        expected = chain.canonical_reduce(values.copy())
+        out = np.empty_like(values)
+        scratch = np.empty_like(values)
+        got = chain.canonical_reduce(values, out=out, scratch=scratch)
+        assert got is out
+        assert np.array_equal(got, expected)
+        # out aliasing values is part of the contract.
+        aliased = chain.canonical_reduce(values, out=values, scratch=scratch)
+        assert aliased is values
+        assert np.array_equal(aliased, expected)
+
+    def test_limb_axis_placement(self, rng):
+        # The batched funnels put the limb axis at axis=1 of (B, L, ...)
+        # stacks; both placements must agree.
+        chain = chain_for(20, limbs=4)
+        values = rng.integers(0, chain.qmax ** 2, size=(4, 3, 8))
+        by_axis0 = chain.canonical_reduce(values.astype(np.float64))
+        moved = np.moveaxis(values, 0, 1).astype(np.float64)
+        by_axis1 = chain.canonical_reduce(moved, axis=1)
+        assert np.array_equal(np.moveaxis(by_axis1, 1, 0), by_axis0)
+
+
+class TestGuard:
+    def test_fits_is_the_exact_boundary(self):
+        chain = chain_for(27)
+        assert chain.fits(FLOAT_EXACT_LIMIT - chain.qmax - 1)
+        assert not chain.fits(FLOAT_EXACT_LIMIT - chain.qmax)
+        assert not chain.fits(FLOAT_EXACT_LIMIT)
+
+    def test_boundary_inputs_reduce_exactly(self):
+        # The largest in-guard magnitudes, right at the 2**53 edge.
+        chain = chain_for(27)
+        edge = FLOAT_EXACT_LIMIT - chain.qmax - 1
+        values = np.asarray([[edge, edge - 1, edge - chain.qmax]
+                             for _ in chain.moduli], dtype=np.int64)
+        assert chain.fits(int(values.max()))
+        got = chain.canonical_reduce(values.astype(np.float64))
+        assert np.array_equal(got.astype(np.int64), reference(values, chain))
+
+    def test_33_bit_chain_rejected_for_products(self):
+        # (q-1)**2 for a 33-bit prime is ~2**66: no element-wise product
+        # chain fits, so every caller must take the int64/object path.
+        chain = get_barrett_chain([(1 << 33) + 89 * (1 << 13) + 1])
+        assert not chain.fits((chain.qmax - 1) ** 2)
+
+
+class TestChainCache:
+    def test_shared_per_moduli_tuple(self):
+        primes = generate_ntt_primes(4, 20, N)
+        assert get_barrett_chain(primes) is get_barrett_chain(
+            np.asarray(primes, dtype=np.int64))
+
+    def test_distinct_per_chain(self):
+        a = get_barrett_chain(generate_ntt_primes(4, 20, N))
+        b = get_barrett_chain(generate_ntt_primes(5, 20, N))
+        assert a is not b
+        assert b.moduli[:4] == a.moduli
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            BarrettChain([])
