@@ -12,7 +12,9 @@ The package is layered (see DESIGN.md):
 * :mod:`repro.batching`, :mod:`repro.gpu`, :mod:`repro.perf`,
   :mod:`repro.workloads` — operation-level batching and the GPU performance
   model that reproduces the paper's evaluation;
-* :mod:`repro.api` — the high-level facade (:class:`~repro.api.TensorFheContext`).
+* :mod:`repro.api` — the high-level facade (:class:`~repro.api.TensorFheContext`);
+* :mod:`repro.serving` — the async multi-tenant serving layer that fills
+  the fused (B, L, N) substrate from concurrent request traffic.
 """
 
 from .api import TensorFheContext
@@ -35,6 +37,7 @@ from .ckks import (
 )
 from .ntt import available_engines, create_engine
 from .perf import ModelParameters, NttVariant, OperationModel, WorkloadModel
+from .serving import KeyRegistry, ServingConfig, ServingEngine
 from .workloads import WORKLOADS, get_workload
 
 __version__ = "1.0.0"
@@ -60,6 +63,9 @@ __all__ = [
     "ModelParameters",
     "WorkloadModel",
     "NttVariant",
+    "ServingEngine",
+    "ServingConfig",
+    "KeyRegistry",
     "WORKLOADS",
     "get_workload",
     "__version__",

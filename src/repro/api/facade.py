@@ -10,7 +10,7 @@ operations as plain methods so applications never touch the lower layers.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from ..ckks.evaluator import Evaluator
 from ..ckks.keygen import KeyGenerator
 from ..ckks.params import CkksParameters, get_preset
 from ..gpu.spec import A100, GpuSpec
+
+if TYPE_CHECKING:
+    from ..serving import ServingEngine
 
 __all__ = ["TensorFheContext"]
 
@@ -89,11 +92,8 @@ class TensorFheContext:
 
     def ensure_rotation_keys(self, steps: Iterable[int]) -> None:
         """Generate any missing rotation keys for ``steps``."""
-        missing = [step for step in steps
-                   if step % self.slot_count and step not in self.rotation_keys.keys]
-        for step in missing:
-            self.rotation_keys.add(step, self._keygen.generate_rotation_key(
-                self.secret_key, step))
+        self._keygen.ensure_rotation_keys(self.secret_key, self.rotation_keys,
+                                          steps)
 
     # ------------------------------------------------------------------
     # Encryption / decryption
@@ -280,3 +280,14 @@ class TensorFheContext:
             self.context.ring_degree, level + 1,
             requested=requested or self.parameters.batch_size,
         )
+
+    # ------------------------------------------------------------------
+    def create_serving_engine(self, **kwargs) -> "ServingEngine":
+        """A multi-tenant :class:`~repro.serving.ServingEngine` over this context.
+
+        Keyword arguments are forwarded to the engine constructor
+        (``config=``, ``registry=``, ``scheduler=``).  Imported lazily so
+        the api layer stays importable without the serving subsystem.
+        """
+        from ..serving import ServingEngine
+        return ServingEngine(self, **kwargs)

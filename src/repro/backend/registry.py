@@ -13,12 +13,21 @@ Selection precedence, highest first:
 Backends register a *class*; one instance per name is created lazily and
 shared process-wide (the multiprocess backend's worker pool, for example,
 is per-instance state worth sharing).
+
+The override slot itself is a :class:`contextvars.ContextVar`, not a
+module global: concurrent ``asyncio`` tasks (the serving layer's worker
+and its clients, for example) each see their own override.  A task
+spawned with ``create_task`` inherits the override active at spawn time,
+and a ``set_active_backend``/``use_backend`` call inside one task can
+never leak into a sibling task.  Synchronous code observes exactly the
+historical process-wide semantics, since it all runs in one context.
 """
 
 from __future__ import annotations
 
 import os
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Dict, Iterator, Optional, Tuple, Type, Union
 
 from .base import ArrayBackend
@@ -50,9 +59,11 @@ BackendSpec = Union[None, str, ArrayBackend]
 
 _REGISTRY: Dict[str, Type[ArrayBackend]] = {}
 _INSTANCES: Dict[str, ArrayBackend] = {}
-#: Process-wide override installed by :func:`set_active_backend` (None means
-#: "resolve from the environment").
-_ACTIVE: Optional[ArrayBackend] = None
+#: Override installed by :func:`set_active_backend` (None means "resolve
+#: from the environment").  A ``ContextVar`` so concurrent asyncio tasks
+#: cannot observe each other's override.
+_ACTIVE: ContextVar[Optional[ArrayBackend]] = ContextVar(
+    "repro_active_backend", default=None)
 
 
 def register_backend(backend_cls: Type[ArrayBackend]) -> Type[ArrayBackend]:
@@ -109,32 +120,32 @@ def get_backend(name: str) -> ArrayBackend:
 
 def get_active_backend() -> ArrayBackend:
     """The backend the funnels use when no explicit one is passed."""
-    if _ACTIVE is not None:
-        return _ACTIVE
+    active = _ACTIVE.get()
+    if active is not None:
+        return active
     return get_backend(os.environ.get(BACKEND_ENV_VAR, DEFAULT_BACKEND))
 
 
 def set_active_backend(backend: BackendSpec) -> Optional[ArrayBackend]:
-    """Install a process-wide backend override; returns the previous one.
+    """Install a backend override in the current context; returns the previous one.
 
     ``None`` clears the override, restoring ``REPRO_BACKEND``/default
-    resolution.
+    resolution.  The override is context-local: installing it inside an
+    asyncio task affects that task (and tasks it spawns afterwards) only.
     """
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = None if backend is None else resolve_backend(backend)
+    previous = _ACTIVE.get()
+    _ACTIVE.set(None if backend is None else resolve_backend(backend))
     return previous
 
 
 @contextmanager
 def use_backend(backend: BackendSpec) -> Iterator[ArrayBackend]:
     """Scoped :func:`set_active_backend` (restores the previous override)."""
-    previous = set_active_backend(backend)
+    token = _ACTIVE.set(None if backend is None else resolve_backend(backend))
     try:
         yield get_active_backend()
     finally:
-        global _ACTIVE
-        _ACTIVE = previous
+        _ACTIVE.reset(token)
 
 
 def resolve_backend(backend: BackendSpec) -> ArrayBackend:

@@ -6,6 +6,14 @@ is limited by the VRAM needed for the batched operands and intermediates,
 and there is little benefit in exceeding the batch size that already
 saturates the GPU's resident threads.  :class:`BatchScheduler` encodes both
 limits.
+
+When a :class:`~repro.perf.calibration.MeasuredThroughput` calibration is
+supplied, the *measured* knee of the fused-speedup curve (from the
+benchmark JSONs committed under ``benchmarks/results/``) replaces the
+datasheet-derived saturation estimate: the scheduler then recommends the
+batch size that was actually observed to maximise fused throughput on
+this substrate, which is what the serving layer's flush policy sizes its
+launches with.
 """
 
 from __future__ import annotations
@@ -14,6 +22,10 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..gpu.spec import GpuSpec
+# Imported for real (not TYPE_CHECKING): the batching layer's public
+# annotations must resolve under typing.get_type_hints, and calibration
+# is stdlib-only so no import cycle is possible.
+from ..perf.calibration import MeasuredThroughput
 
 __all__ = ["BatchPlan", "BatchScheduler"]
 
@@ -31,18 +43,28 @@ class BatchPlan:
     vram_limited_batch: int
     saturation_batch: int
     working_set_bytes_per_op: float
+    #: The measured fused-speedup knee that drove the choice, when the
+    #: scheduler was built with a calibration (None = static model).
+    measured_batch: Optional[int] = None
 
     @property
     def limited_by_vram(self) -> bool:
         return self.vram_limited_batch <= self.saturation_batch
 
+    @property
+    def measured(self) -> bool:
+        return self.measured_batch is not None
+
 
 class BatchScheduler:
     """Chooses operation-level batch sizes for a GPU and CKKS parameter set."""
 
-    def __init__(self, gpu: GpuSpec, *, vram_utilisation: float = 0.85) -> None:
+    def __init__(self, gpu: GpuSpec, *, vram_utilisation: float = 0.85,
+                 measured: Optional["MeasuredThroughput"] = None) -> None:
         self.gpu = gpu
         self.vram_utilisation = vram_utilisation
+        #: Optional measured calibration; see the module docstring.
+        self.measured = measured if measured else None
 
     def working_set_per_operation(self, ring_degree: int, limb_count: int,
                                   components: int = 2) -> float:
@@ -63,12 +85,21 @@ class BatchScheduler:
         ``requested`` (e.g. the paper's Table V batch sizes) caps the
         result; power-of-two sizes are preferred because the workloads pack
         power-of-two many ciphertexts.
+
+        With a measured calibration, the observed fused-speedup knee
+        replaces the saturation estimate (VRAM and ``requested`` still
+        cap the result).
         """
         per_op = self.working_set_per_operation(ring_degree, limb_count, components)
         usable = self.gpu.vram_bytes * self.vram_utilisation
         vram_limit = max(1, int(usable // per_op))
         saturation = self.saturation_batch(ring_degree, limb_count)
-        batch = min(vram_limit, max(saturation, 1))
+        measured_batch = None
+        if self.measured is not None:
+            measured_batch = self.measured.preferred_batch(
+                ring_degree, source="op_batching")
+        target = saturation if measured_batch is None else measured_batch
+        batch = min(vram_limit, max(target, 1))
         if requested is not None:
             batch = min(batch, requested)
         batch = max(1, 1 << (batch.bit_length() - 1))
@@ -77,4 +108,5 @@ class BatchScheduler:
             vram_limited_batch=vram_limit,
             saturation_batch=saturation,
             working_set_bytes_per_op=per_op,
+            measured_batch=measured_batch,
         )

@@ -59,7 +59,21 @@ from .context import CkksContext
 from .evaluator import Evaluator
 from .keys import RotationKeySet, SwitchKey
 
-__all__ = ["BatchedEvaluator"]
+__all__ = ["BatchedEvaluator", "stream_signature"]
+
+
+def stream_signature(ciphertext: Ciphertext) -> Tuple:
+    """The compatibility key under which independent streams fuse.
+
+    Streams sharing this tuple — active prime chain, level, scale and the
+    per-component polynomial domains — can execute as one ``(B, L, N)``
+    fused launch with no per-stream special-casing: the batched evaluator
+    groups by the chain internally and checks scale/domain per pair, and
+    the serving layer's request coalescer uses this same key up front so
+    every chunk it hands over is maximally fusable.
+    """
+    return (ciphertext.moduli, ciphertext.level, ciphertext.scale,
+            ciphertext.c0.domain, ciphertext.c1.domain)
 
 
 class BatchedEvaluator:

@@ -93,6 +93,21 @@ class KeyGenerator:
         conjugated = self._automorphism_secret(secret_key, galois_element)
         return self.create_switch_key(conjugated, secret_key, description="conjugation")
 
+    def ensure_rotation_keys(self, secret_key: SecretKey,
+                             key_set: RotationKeySet,
+                             steps: Iterable[int]) -> None:
+        """Lazily add any missing rotation keys for ``steps`` to ``key_set``.
+
+        Steps that are multiples of the slot count rotate by zero and need
+        no key.  Shared by the facade and the serving layer's per-tenant
+        key registry, so lazy generation has one definition.
+        """
+        slot_count = self.context.slot_count
+        missing = [step for step in steps
+                   if step % slot_count and step not in key_set.keys]
+        for step in missing:
+            key_set.add(step, self.generate_rotation_key(secret_key, step))
+
     # ------------------------------------------------------------------
     def create_switch_key(self, source_key_mod: "SecretLike", secret_key: SecretKey,
                           *, description: str = "switch") -> SwitchKey:

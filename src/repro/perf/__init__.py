@@ -1,5 +1,6 @@
 """Performance and energy models plus the literature baselines."""
 
+from .calibration import MeasuredPoint, MeasuredThroughput, default_results_dir
 from .cost_model import CostModelConfig, GpuCostModel
 from .energy import EnergyModel
 from .kernel_workloads import (
@@ -17,6 +18,9 @@ from .workload_model import WorkloadModel, WorkloadTimings
 from . import literature
 
 __all__ = [
+    "MeasuredPoint",
+    "MeasuredThroughput",
+    "default_results_dir",
     "KernelWorkload",
     "NttVariant",
     "ntt_workload",

@@ -1,0 +1,254 @@
+"""Measured-throughput calibration from the committed benchmark JSONs.
+
+The analytical cost model prices kernels from datasheet peaks and
+efficiency constants fitted against the paper's A100 numbers.  This
+module is the *empirical* counterpart: it ingests the wall-clock JSONs
+the benchmark harness commits under ``benchmarks/results/`` — the
+backend sweep (``backends.json``), the operation-batching and key-switch
+fusion sweeps (``op_batching*.json``, ``keyswitch_batching.json``) and
+the float-reduction stage timing (``float_reduction.json``) — and turns
+them into numbers the rest of the stack can consume:
+
+* :meth:`MeasuredThroughput.preferred_batch` — the measured knee of the
+  fused-speedup curve, which :class:`~repro.batching.scheduler.BatchScheduler`
+  uses in place of the static :class:`~repro.gpu.spec.GpuSpec` saturation
+  estimate (and which therefore sizes the serving layer's flushes);
+* :meth:`MeasuredThroughput.ops_per_second` — measured fused-launch
+  throughput for latency/linger budgeting;
+* :meth:`CostModelConfig.from_measurements
+  <repro.perf.cost_model.CostModelConfig.from_measurements>` — a cost
+  model whose batched/unbatched efficiency ratio is the *measured* fused
+  speedup instead of the datasheet-derived constant.
+
+Entries are parsed from the benchmark key convention
+``<label>_N<ring_degree>[_L<limbs>]_B<batch>`` used by every tracked
+sweep; unknown files and keys are skipped, so the loader tolerates the
+results directory growing new benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["MeasuredPoint", "MeasuredThroughput", "default_results_dir"]
+
+#: Result files whose entries are (fused vs baseline) timing pairs, with
+#: the JSON field names holding the fused and baseline microseconds.
+_PAIRED_FILES: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "op_batching": (("fused_us",), ("per_ciphertext_us",)),
+    "op_batching_cmult": (("fused_us",), ("sequential_us",)),
+    "keyswitch_batching": (("fused_us",), ("per_stream_us",)),
+    "float_reduction": (("float64_barrett_us",), ("int64_detour_us",)),
+}
+
+_KEY_PATTERN = re.compile(
+    r"^(?P<label>.+?)_N(?P<n>\d+)(?:_L(?P<l>\d+))?(?:_B(?P<b>\d+))?$")
+
+
+def default_results_dir() -> Optional[str]:
+    """The repo's ``benchmarks/results`` directory, if running from a checkout.
+
+    Installed copies of the library have no results directory; callers
+    must then pass an explicit path (or a mapping) to the loader.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    for _ in range(6):
+        candidate = os.path.join(here, "benchmarks", "results")
+        if os.path.isdir(candidate):
+            return candidate
+        here = os.path.dirname(here)
+    return None
+
+
+@dataclass(frozen=True)
+class MeasuredPoint:
+    """One measured (fused vs baseline) timing pair."""
+
+    source: str                 # results file stem, e.g. "op_batching"
+    label: str                  # sweep label, e.g. "four_step" / "matrix"
+    ring_degree: int
+    batch: int                  # 1 when the sweep had no B axis
+    limbs: Optional[int]
+    fused_us: float
+    baseline_us: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_us / self.fused_us if self.fused_us else float("inf")
+
+    @property
+    def fused_op_us(self) -> float:
+        """Amortised microseconds per operation inside the fused launch."""
+        return self.fused_us / max(1, self.batch)
+
+
+class MeasuredThroughput:
+    """Measured fused-launch throughput, loaded from benchmark JSONs."""
+
+    def __init__(self, points: Sequence[MeasuredPoint],
+                 backend_speedups: Optional[Dict[str, float]] = None) -> None:
+        self.points: Tuple[MeasuredPoint, ...] = tuple(points)
+        #: ``backends.json``: per-backend speedup over the numpy default.
+        self.backend_speedups: Dict[str, float] = dict(backend_speedups or {})
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_results_dir(cls, path: Optional[str] = None) -> "MeasuredThroughput":
+        """Load every recognised results file under ``path``.
+
+        ``path=None`` resolves the repo checkout's ``benchmarks/results``;
+        a missing directory (or one with no recognised files) yields an
+        *empty* calibration, which every consumer treats as "no measured
+        data" rather than an error.
+        """
+        path = default_results_dir() if path is None else path
+        payloads: Dict[str, dict] = {}
+        if path is not None and os.path.isdir(path):
+            for entry in sorted(os.listdir(path)):
+                if not entry.endswith(".json"):
+                    continue
+                try:
+                    with open(os.path.join(path, entry)) as handle:
+                        payloads[entry[:-len(".json")]] = json.load(handle)
+                except (OSError, ValueError):
+                    continue        # unreadable/corrupt file: skip, stay usable
+        return cls.from_payloads(payloads)
+
+    @classmethod
+    def from_payloads(cls, payloads: Dict[str, dict]) -> "MeasuredThroughput":
+        """Build a calibration from already-parsed ``{stem: payload}`` dicts."""
+        points: List[MeasuredPoint] = []
+        backend_speedups: Dict[str, float] = {}
+        for stem, payload in payloads.items():
+            if stem == "backends":
+                for backend, entry in payload.items():
+                    speedup = entry.get("speedup_vs_numpy")
+                    if isinstance(speedup, (int, float)) and speedup > 0:
+                        backend_speedups[backend] = float(speedup)
+                continue
+            fields = _PAIRED_FILES.get(stem)
+            if fields is None:
+                continue
+            fused_names, baseline_names = fields
+            for key, entry in payload.items():
+                match = _KEY_PATTERN.match(key)
+                if match is None:
+                    continue
+                fused = _first_field(entry, fused_names)
+                baseline = _first_field(entry, baseline_names)
+                if fused is None or baseline is None or fused <= 0:
+                    continue
+                points.append(MeasuredPoint(
+                    source=stem,
+                    label=match.group("label"),
+                    ring_degree=int(match.group("n")),
+                    batch=int(match.group("b") or 1),
+                    limbs=int(match.group("l")) if match.group("l") else None,
+                    fused_us=fused,
+                    baseline_us=baseline,
+                ))
+        return cls(points, backend_speedups)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __bool__(self) -> bool:
+        return bool(self.points) or bool(self.backend_speedups)
+
+    def select(self, *, source: Optional[str] = None,
+               label: Optional[str] = None,
+               ring_degree: Optional[int] = None) -> List[MeasuredPoint]:
+        """Points matching every given filter."""
+        return [
+            point for point in self.points
+            if (source is None or point.source == source)
+            and (label is None or point.label == label)
+            and (ring_degree is None or point.ring_degree == ring_degree)
+        ]
+
+    def mean_batched_speedup(self, *, source: Optional[str] = None) -> float:
+        """Geometric-mean measured speedup of fused over looped execution.
+
+        The geometric mean is the right aggregate for ratios; an empty
+        selection returns 1.0 (no measured evidence of a speedup).
+        """
+        speedups = [p.speedup for p in self.select(source=source) if p.speedup > 0]
+        if not speedups:
+            return 1.0
+        product = 1.0
+        for value in speedups:
+            product *= value
+        return product ** (1.0 / len(speedups))
+
+    def preferred_batch(self, ring_degree: int, *,
+                        source: Optional[str] = None,
+                        label: Optional[str] = None) -> Optional[int]:
+        """The measured knee: the batch size of the best observed speedup.
+
+        Falls back to the nearest measured ring degree when ``ring_degree``
+        itself was never swept (the curve shape, not the absolute time, is
+        what transfers).  Returns ``None`` with no matching data.
+        """
+        candidates = self.select(source=source, label=label)
+        if not candidates:
+            return None
+        if not any(p.ring_degree == ring_degree for p in candidates):
+            nearest = min({p.ring_degree for p in candidates},
+                          key=lambda n: abs(n - ring_degree))
+            ring_degree = nearest
+        best = max((p for p in candidates if p.ring_degree == ring_degree),
+                   key=lambda p: p.speedup)
+        return best.batch
+
+    def fused_op_us(self, ring_degree: int, *, source: Optional[str] = None,
+                    label: Optional[str] = None,
+                    batch: Optional[int] = None) -> Optional[float]:
+        """Measured amortised microseconds per op inside a fused launch.
+
+        Picks the matching point with the largest batch at (or nearest to)
+        ``ring_degree`` unless ``batch`` pins one.  Returns ``None`` with
+        no matching data.
+        """
+        candidates = self.select(source=source, label=label)
+        if batch is not None:
+            candidates = [p for p in candidates if p.batch == batch]
+        if not candidates:
+            return None
+        if not any(p.ring_degree == ring_degree for p in candidates):
+            nearest = min({p.ring_degree for p in candidates},
+                          key=lambda n: abs(n - ring_degree))
+            ring_degree = nearest
+        matches = [p for p in candidates if p.ring_degree == ring_degree]
+        chosen = max(matches, key=lambda p: p.batch)
+        return chosen.fused_op_us
+
+    def ops_per_second(self, ring_degree: int, *, source: Optional[str] = None,
+                       label: Optional[str] = None) -> Optional[float]:
+        """Measured fused throughput in operations per second."""
+        per_op = self.fused_op_us(ring_degree, source=source, label=label)
+        if per_op is None or per_op <= 0:
+            return None
+        return 1e6 / per_op
+
+    def describe(self) -> Dict[str, object]:
+        """Summary used by diagnostics endpoints and reports."""
+        return {
+            "points": len(self.points),
+            "sources": sorted({p.source for p in self.points}),
+            "backend_speedups": dict(self.backend_speedups),
+            "mean_batched_speedup": self.mean_batched_speedup(),
+        }
+
+
+def _first_field(entry: dict, names: Tuple[str, ...]) -> Optional[float]:
+    for name in names:
+        value = entry.get(name)
+        if isinstance(value, (int, float)):
+            return float(value)
+    return None

@@ -1,0 +1,511 @@
+"""The asyncio serving engine: dynamic batching of concurrent requests.
+
+``ServingEngine`` is what feeds the fused ``(B, L, N)`` substrate from
+real traffic.  Many independent tenants submit single encrypted-operation
+requests concurrently; the engine coalesces compatible requests — same
+operation and parameters, same key-bundle identity for key-consuming
+ops, same :func:`~repro.ckks.batched_evaluator.stream_signature` — into
+B-fused :class:`~repro.ckks.batched_evaluator.BatchedEvaluator` launches
+sized by the :class:`~repro.batching.scheduler.BatchScheduler`, and
+resolves each request's future with its result.  This is the dynamic-
+batching pattern GPU inference servers use, applied to FHE operations.
+
+**Flush policy.**  The worker wakes on the first queued request and
+gathers until one of three things happens: the queue reaches the
+scheduler's planned batch size; the oldest request has lingered
+``max_linger`` seconds of event-loop time; or no new request arrived
+within a quiet window (a quarter of the linger) — concurrent clients all
+enqueue within one event-loop pass, so a quiet queue means the batch is
+as big as current traffic makes it and waiting longer only adds latency.
+
+**Backpressure.**  Admission is bounded: a full queue raises
+:class:`~repro.serving.errors.QueueFull`, a tenant at its in-flight cap
+raises :class:`~repro.serving.errors.TenantBusy` — explicit rejections
+the caller can shed or retry on, never silent queue growth.
+
+**Operational hardening.**  One global plus one per-tenant
+:class:`~repro.serving.health.HealthGate`: availability gates only after
+N *consecutive* executor failures (request-scoped errors — unknown
+tenant, bad operands, a level-0 rescale — fail their own future and
+never count), a single probe request is admitted while gated, and the
+first success restores availability.  :meth:`ServingEngine.diagnostics`
+exports queue depths, the executed-batch-size histogram, the coalesce
+ratio, ops/sec and the kernel/transfer counters.
+
+**Backend task-safety.**  The worker task snapshots the contextvars
+context active at :meth:`start`, so the backend override selected by the
+owner (``use_backend``/``set_active_backend``) covers every fused launch
+regardless of which client's request triggered the flush.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Callable, Deque, Dict, List, Optional,
+                    Sequence, Set)
+
+from ..batching.scheduler import BatchScheduler
+from ..ckks.ciphertext import Ciphertext
+from .errors import (
+    EngineStopped,
+    QueueFull,
+    ServiceUnavailable,
+    TenantBusy,
+    UnknownOperation,
+)
+from .health import HealthGate
+from .keys import KeyRegistry, TenantKeys
+from .request import OpName, OpRequest
+
+if TYPE_CHECKING:        # annotation-only: the facade imports this package
+    from ..api.facade import TensorFheContext
+
+__all__ = ["ServingConfig", "ServingEngine"]
+
+#: Exception classes treated as request-scoped (bad operands, missing
+#: rotation material, malformed values): they fail the coalesced group's
+#: futures but say nothing about executor health.
+_REQUEST_ERRORS = (ValueError, KeyError, TypeError)
+
+
+@dataclass
+class ServingConfig:
+    """Tunables of the serving engine."""
+
+    #: Bounded admission queue depth; beyond it submissions raise QueueFull.
+    max_queue_depth: int = 256
+    #: Cap on the fused batch size; None defers to the scheduler's plan
+    #: (which itself prefers the measured knee when calibrated).
+    max_batch: Optional[int] = None
+    #: Maximum event-loop seconds the oldest request waits for company.
+    max_linger: float = 0.002
+    #: Per-tenant cap on requests admitted but not yet resolved;
+    #: None disables the cap.
+    tenant_inflight_limit: Optional[int] = 64
+    #: Consecutive executor failures before availability gates.
+    failure_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        if self.max_linger < 0:
+            raise ValueError("max_linger must be non-negative")
+
+    @property
+    def quiet_window(self) -> float:
+        """Idle time after which a partial batch flushes early."""
+        return self.max_linger / 4.0
+
+
+class ServingEngine:
+    """Multi-tenant dynamic-batching front end over one FHE context."""
+
+    def __init__(self, fhe: "TensorFheContext", *,
+                 config: Optional[ServingConfig] = None,
+                 registry: Optional[KeyRegistry] = None,
+                 scheduler: Optional[BatchScheduler] = None,
+                 executor: Optional[Callable[[str, List[OpRequest]],
+                                             Sequence[Ciphertext]]] = None) -> None:
+        self.fhe = fhe
+        self.config = config if config is not None else ServingConfig()
+        self.registry = (registry if registry is not None
+                         else KeyRegistry(fhe.context, keygen=fhe._keygen))
+        self.scheduler = scheduler if scheduler is not None else fhe.batch_scheduler
+        #: The batch executor; replaceable for fault injection in tests.
+        self._executor = executor if executor is not None else self._run_op
+        self._queue: Deque[OpRequest] = deque()
+        self._work = asyncio.Event()
+        self._worker_task: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped = False
+        self._started_at: Optional[float] = None
+        self._inflight: Counter = Counter()
+        self._health = HealthGate(self.config.failure_threshold)
+        self._tenant_health: Dict[str, HealthGate] = {}
+        self._stats = _ServingStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._worker_task is not None
+
+    async def start(self) -> "ServingEngine":
+        """Spawn the batching worker on the running event loop."""
+        if self._stopped:
+            raise EngineStopped("serving engine was stopped; build a new one")
+        if self._worker_task is None:
+            self._loop = asyncio.get_running_loop()
+            self._started_at = self._loop.time()
+            self._worker_task = self._loop.create_task(
+                self._worker(), name="repro-serving-worker")
+        return self
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop the worker; drain (default) or fail whatever is queued."""
+        task, self._worker_task = self._worker_task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._stopped = True
+        if drain:
+            while self._queue:
+                self._flush()
+        else:
+            stopped = EngineStopped("serving engine stopped before execution")
+            while self._queue:
+                request = self._queue.popleft()
+                if not request.future.done():
+                    request.future.set_exception(stopped)
+
+    async def __aenter__(self) -> "ServingEngine":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    async def submit(self, tenant: str, op: str, ciphertext: Ciphertext,
+                     operand: Optional[Ciphertext] = None, *,
+                     values: Optional[Sequence] = None, steps: int = 0,
+                     rescale: bool = True) -> Ciphertext:
+        """Submit one request and await its result."""
+        return await self.submit_nowait(tenant, op, ciphertext, operand,
+                                        values=values, steps=steps,
+                                        rescale=rescale)
+
+    def submit_nowait(self, tenant: str, op: str, ciphertext: Ciphertext,
+                      operand: Optional[Ciphertext] = None, *,
+                      values: Optional[Sequence] = None, steps: int = 0,
+                      rescale: bool = True) -> "asyncio.Future":
+        """Validate, admit and enqueue one request; returns its future.
+
+        Raises an admission rejection (queue full, tenant busy, health
+        gated, engine stopped) or a request-scoped validation error
+        (unknown tenant/operation, malformed operands) synchronously;
+        once a future is returned, the request is queued.
+        """
+        if self._stopped:
+            raise EngineStopped("serving engine is stopped")
+        keys = self._validate(tenant, op, ciphertext, operand, values)
+        config = self.config
+        if len(self._queue) >= config.max_queue_depth:
+            self._stats.rejected += 1
+            raise QueueFull(
+                "admission queue is full (%d requests)" % config.max_queue_depth)
+        limit = config.tenant_inflight_limit
+        if limit is not None and self._inflight[tenant] >= limit:
+            self._stats.rejected += 1
+            raise TenantBusy(
+                "tenant %r already has %d requests in flight" % (tenant, limit))
+        tenant_gate = self._gate_for(tenant)
+        if not self._health.peek():
+            self._stats.rejected += 1
+            raise ServiceUnavailable(
+                "engine gated after %d consecutive executor failures"
+                % self._health.consecutive_failures)
+        if not tenant_gate.peek():
+            self._stats.rejected += 1
+            raise ServiceUnavailable(
+                "tenant %r gated after %d consecutive executor failures"
+                % (tenant, tenant_gate.consecutive_failures))
+        self._health.admit()
+        tenant_gate.admit()
+
+        loop = self._loop if self._loop is not None else asyncio.get_running_loop()
+        request = OpRequest(
+            tenant=tenant, op=op, ciphertext=ciphertext, operand=operand,
+            values=values, steps=steps % self.fhe.slot_count,
+            rescale=bool(rescale) if op in (OpName.MULTIPLY,
+                                            OpName.MULTIPLY_PLAIN) else False,
+            keys=keys, future=loop.create_future(), enqueued_at=loop.time(),
+        )
+        self._queue.append(request)
+        self._inflight[tenant] += 1
+        request.future.add_done_callback(
+            lambda _future, t=tenant: self._inflight.__setitem__(
+                t, self._inflight[t] - 1))
+        self._stats.submitted += 1
+        self._work.set()
+        return request.future
+
+    # Convenience wrappers: one per served operation.
+    async def add(self, tenant: str, lhs: Ciphertext, rhs: Ciphertext) -> Ciphertext:
+        return await self.submit(tenant, OpName.ADD, lhs, rhs)
+
+    async def multiply(self, tenant: str, lhs: Ciphertext, rhs: Ciphertext,
+                       *, rescale: bool = True) -> Ciphertext:
+        return await self.submit(tenant, OpName.MULTIPLY, lhs, rhs,
+                                 rescale=rescale)
+
+    async def multiply_plain(self, tenant: str, ciphertext: Ciphertext,
+                             values: Sequence, *, rescale: bool = True) -> Ciphertext:
+        return await self.submit(tenant, OpName.MULTIPLY_PLAIN, ciphertext,
+                                 values=values, rescale=rescale)
+
+    async def rescale(self, tenant: str, ciphertext: Ciphertext) -> Ciphertext:
+        return await self.submit(tenant, OpName.RESCALE, ciphertext)
+
+    async def rotate(self, tenant: str, ciphertext: Ciphertext,
+                     steps: int) -> Ciphertext:
+        return await self.submit(tenant, OpName.ROTATE, ciphertext, steps=steps)
+
+    async def conjugate(self, tenant: str, ciphertext: Ciphertext) -> Ciphertext:
+        return await self.submit(tenant, OpName.CONJUGATE, ciphertext)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self, tenant: str, op: str, ciphertext: Ciphertext,
+                  operand: Optional[Ciphertext],
+                  values: Optional[Sequence]) -> TenantKeys:
+        if op not in OpName.ALL:
+            raise UnknownOperation(
+                "unknown operation %r; served: %s" % (op, ", ".join(OpName.ALL)))
+        if not isinstance(ciphertext, Ciphertext):
+            raise TypeError("primary operand must be a Ciphertext, got %r"
+                            % type(ciphertext).__name__)
+        if op in OpName.BINARY:
+            if not isinstance(operand, Ciphertext):
+                raise TypeError("%s needs a second Ciphertext operand" % op)
+        elif operand is not None:
+            raise TypeError("%s takes no second ciphertext operand" % op)
+        if op == OpName.MULTIPLY_PLAIN and values is None:
+            raise TypeError("multiply_plain needs a slot-value vector")
+        return self.registry.get(tenant)
+
+    def _gate_for(self, tenant: str) -> HealthGate:
+        gate = self._tenant_health.get(tenant)
+        if gate is None:
+            gate = HealthGate(self.config.failure_threshold, name=tenant)
+            self._tenant_health[tenant] = gate
+        return gate
+
+    # ------------------------------------------------------------------
+    # Worker: gather → coalesce → fused launches → resolve futures
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            if not self._queue:
+                self._work.clear()
+                await self._work.wait()
+            await self._gather()
+            self._flush()
+
+    async def _gather(self) -> None:
+        """Linger until the batch is full, quiet, or out of time."""
+        loop = self._loop
+        config = self.config
+        deadline = loop.time() + config.max_linger
+        target = self._flush_target()
+        previous = -1
+        while len(self._queue) < target:
+            if len(self._queue) != previous:
+                # New arrivals: one event-loop pass lets every runnable
+                # client coroutine enqueue before we look again.
+                previous = len(self._queue)
+                await asyncio.sleep(0)
+                continue
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            self._work.clear()
+            try:
+                await asyncio.wait_for(
+                    self._work.wait(),
+                    timeout=min(config.quiet_window, remaining) or remaining)
+            except asyncio.TimeoutError:
+                break        # nothing new within the quiet window: flush
+
+    def _flush_target(self) -> int:
+        requested = self.config.max_batch or self.fhe.parameters.batch_size
+        plan = self.scheduler.plan(self.fhe.context.ring_degree,
+                                   self.fhe.context.max_level + 1,
+                                   requested=requested)
+        return max(1, plan.batch_size)
+
+    def _chunk_size(self, request: OpRequest) -> int:
+        requested = self.config.max_batch or self.fhe.parameters.batch_size
+        plan = self.scheduler.plan(self.fhe.context.ring_degree,
+                                   request.ciphertext.level + 1,
+                                   requested=requested)
+        return max(1, plan.batch_size)
+
+    def _flush(self) -> None:
+        """Drain the queue into coalesced, scheduler-sized fused launches."""
+        if not self._queue:
+            return
+        requests = list(self._queue)
+        self._queue.clear()
+        groups: Dict[tuple, List[OpRequest]] = {}
+        for request in requests:
+            groups.setdefault(request.coalesce_key(), []).append(request)
+        for members in groups.values():
+            size = self._chunk_size(members[0])
+            for start in range(0, len(members), size):
+                self._execute(members[start:start + size])
+
+    def _execute(self, chunk: List[OpRequest]) -> None:
+        """Run one coalesced chunk and settle its futures and health."""
+        tenants = {request.tenant for request in chunk}
+        try:
+            results = self._executor(chunk[0].op, chunk)
+        except _REQUEST_ERRORS as exc:
+            # Bad operands fail their own group only; executor health is
+            # not implicated, but booked probe slots must come back.
+            self._stats.request_errors += len(chunk)
+            self._release_probes(tenants)
+            self._settle_errors(chunk, exc)
+        except asyncio.CancelledError:        # never swallow cancellation
+            raise
+        except Exception as exc:
+            self._stats.executor_failures += 1
+            self._record_health(tenants, ok=False)
+            self._settle_errors(chunk, exc)
+        else:
+            self._record_health(tenants, ok=True)
+            self._stats.record_batch(chunk[0].op, len(chunk))
+            for request, result in zip(chunk, results):
+                if not request.future.done():
+                    request.future.set_result(result)
+
+    def _run_op(self, op: str, chunk: List[OpRequest]) -> Sequence[Ciphertext]:
+        """Execute one coalesced chunk as fused batched-evaluator launches."""
+        evaluator = self.fhe.batched_evaluator
+        streams = [request.ciphertext for request in chunk]
+        keys = chunk[0].keys
+        if op == OpName.ADD:
+            return evaluator.add(streams, [r.operand for r in chunk])
+        if op == OpName.MULTIPLY:
+            operands = [r.operand for r in chunk]
+            if chunk[0].rescale:
+                return evaluator.multiply_and_rescale(
+                    streams, operands, keys.relinearization_key)
+            return evaluator.multiply(streams, operands,
+                                      keys.relinearization_key)
+        if op == OpName.MULTIPLY_PLAIN:
+            plaintexts = [
+                request.keys.encryptor.encode(request.values,
+                                              level=request.ciphertext.level)
+                for request in chunk
+            ]
+            products = evaluator.multiply_plain(streams, plaintexts)
+            if chunk[0].rescale:
+                products = evaluator.rescale(products)
+            return products
+        if op == OpName.RESCALE:
+            return evaluator.rescale(streams)
+        if op == OpName.ROTATE:
+            self.registry.ensure_rotation_keys(keys, [chunk[0].steps])
+            return evaluator.rotate(streams, chunk[0].steps, keys.rotation_keys)
+        if op == OpName.CONJUGATE:
+            return evaluator.conjugate(streams, keys.rotation_keys)
+        raise UnknownOperation("unknown operation %r" % op)   # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _record_health(self, tenants: Set[str], *, ok: bool) -> None:
+        gates = [self._health] + [self._gate_for(t) for t in tenants]
+        for gate in gates:
+            gate.record_success() if ok else gate.record_failure()
+
+    def _release_probes(self, tenants: Set[str]) -> None:
+        self._health.release_probe()
+        for tenant in tenants:
+            self._gate_for(tenant).release_probe()
+
+    @staticmethod
+    def _settle_errors(chunk: List[OpRequest], exc: BaseException) -> None:
+        for request in chunk:
+            if not request.future.done():
+                request.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def health(self) -> HealthGate:
+        """The engine-wide availability gate."""
+        return self._health
+
+    def tenant_health(self, tenant: str) -> HealthGate:
+        return self._gate_for(tenant)
+
+    def diagnostics(self) -> Dict[str, object]:
+        """One snapshot of every operational signal the engine tracks."""
+        stats = self._stats
+        counter = self.fhe.kernel_counter
+        elapsed = None
+        if self._started_at is not None and self._loop is not None:
+            elapsed = max(self._loop.time() - self._started_at, 1e-9)
+        return {
+            "running": self.running,
+            "backend": self.fhe.compute_backend,
+            "queue_depth": len(self._queue),
+            "flush_target": self._flush_target(),
+            "inflight": {tenant: count for tenant, count
+                         in self._inflight.items() if count},
+            "tenants": len(self.registry),
+            "health": {
+                "engine": self._health.snapshot(),
+                "tenants": {tenant: gate.snapshot() for tenant, gate
+                            in self._tenant_health.items()},
+            },
+            "requests": {
+                "submitted": stats.submitted,
+                "completed": stats.completed,
+                "rejected": stats.rejected,
+                "request_errors": stats.request_errors,
+                "executor_failures": stats.executor_failures,
+            },
+            "batches": {
+                "executed": stats.batches,
+                "histogram": dict(stats.batch_sizes),
+                "per_op": dict(stats.per_op),
+                "mean_size": stats.mean_batch_size,
+                "coalesce_ratio": stats.coalesce_ratio,
+            },
+            "throughput": {
+                "uptime_s": elapsed,
+                "ops_per_second": (stats.completed / elapsed
+                                   if elapsed else None),
+            },
+            "kernels": counter.snapshot(),
+            "transfers": dict(counter.transfers),
+        }
+
+
+@dataclass
+class _ServingStats:
+    """Counters behind :meth:`ServingEngine.diagnostics`."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    request_errors: int = 0
+    executor_failures: int = 0
+    batches: int = 0
+    batch_sizes: Counter = field(default_factory=Counter)
+    per_op: Counter = field(default_factory=Counter)
+
+    def record_batch(self, op: str, size: int) -> None:
+        self.batches += 1
+        self.batch_sizes[size] += 1
+        self.per_op[op] += size
+        self.completed += size
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.completed / self.batches if self.batches else 0.0
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Requests executed per fused flush (1.0 = no coalescing won)."""
+        return self.mean_batch_size

@@ -1,0 +1,67 @@
+"""Serving-layer error taxonomy.
+
+Two families matter operationally and the tests pin the distinction:
+
+* **admission rejections** (:class:`RejectedRequest` subclasses) — raised
+  synchronously at ``submit`` time, before the request enters the queue:
+  backpressure (:class:`QueueFull`, :class:`TenantBusy`), health gating
+  (:class:`ServiceUnavailable`) and lifecycle (:class:`EngineStopped`).
+  The caller retries or sheds load; nothing reached the executor.
+* **request-scoped errors** — bad tenant (:class:`UnknownTenant`), bad
+  operation (:class:`UnknownOperation`) or operand validation failures
+  surfaced through the request's future.  They fail one request (or one
+  coalesced group of identically-malformed requests) and never count
+  against the engine's availability.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingError",
+    "RejectedRequest",
+    "QueueFull",
+    "TenantBusy",
+    "ServiceUnavailable",
+    "EngineStopped",
+    "UnknownTenant",
+    "UnknownOperation",
+]
+
+
+class ServingError(Exception):
+    """Base class of every serving-layer error."""
+
+
+class RejectedRequest(ServingError):
+    """A request refused at admission time (nothing was enqueued)."""
+
+
+class QueueFull(RejectedRequest):
+    """The bounded admission queue is at capacity — shed load upstream."""
+
+
+class TenantBusy(RejectedRequest):
+    """The tenant hit its in-flight request cap."""
+
+
+class ServiceUnavailable(RejectedRequest):
+    """Availability is gated after consecutive executor failures.
+
+    While gated, a single probe request at a time is still admitted so the
+    gate can observe recovery (see :class:`~repro.serving.health.HealthGate`).
+    """
+
+
+class EngineStopped(RejectedRequest):
+    """The engine was stopped; queued work was drained or failed."""
+
+
+class UnknownTenant(ServingError, KeyError):
+    """No key bundle is registered for the tenant id."""
+
+    def __str__(self) -> str:        # KeyError quotes its args; keep readable
+        return str(self.args[0]) if self.args else KeyError.__str__(self)
+
+
+class UnknownOperation(ServingError, ValueError):
+    """The request names an operation the serving layer does not offer."""

@@ -1,0 +1,95 @@
+"""Availability gating: consecutive-failure circuit breaking.
+
+The operational idiom (availability gates only after *N consecutive*
+failures, recovery on the first success) comes from hardened device
+integrations: one transient executor fault must not flap the service, a
+run of them must stop admitting traffic, and the gate has to be able to
+observe recovery without an operator resetting it.  :class:`HealthGate`
+implements that as a minimal circuit breaker:
+
+* **closed** (available) — failures below the threshold; everything is
+  admitted and any success resets the consecutive count;
+* **open** (gated) — ``failure_threshold`` consecutive executor failures
+  observed; regular admissions are refused, but a *single* outstanding
+  probe request is allowed through at a time;
+* a probe's success closes the gate immediately; its failure (or a
+  neutral outcome such as a request-scoped validation error) releases the
+  probe slot so the next probe can try.
+
+The serving engine keeps one global gate plus one per tenant; executor
+failures are attributed to both, request-scoped errors to neither.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["HealthGate"]
+
+
+class HealthGate:
+    """Consecutive-failure availability gate with single-probe recovery."""
+
+    def __init__(self, failure_threshold: int = 3, *, name: str = "engine") -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.total_successes = 0
+        self._probe_pending = False
+
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """True while failures stay below the gating threshold."""
+        return self.consecutive_failures < self.failure_threshold
+
+    def peek(self) -> bool:
+        """Would an admission be allowed right now?  Never mutates."""
+        return self.available or not self._probe_pending
+
+    def admit(self) -> None:
+        """Record an admission; books the probe slot while gated.
+
+        Call only after :meth:`peek` returned True (the engine checks all
+        gates before booking any, so a rejection elsewhere never leaks a
+        booked probe).
+        """
+        if not self.available:
+            self._probe_pending = True
+
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        """An executor success: reset the count, close the gate."""
+        self.total_successes += 1
+        self.consecutive_failures = 0
+        self._probe_pending = False
+
+    def record_failure(self) -> None:
+        """An executor failure: bump the count, free the probe slot."""
+        self.total_failures += 1
+        self.consecutive_failures += 1
+        self._probe_pending = False
+
+    def release_probe(self) -> None:
+        """A neutral outcome (request-scoped error): free the probe slot.
+
+        Neither resets nor bumps the consecutive count — a malformed
+        request says nothing about executor health — but the probe slot
+        must come back so the gate can still observe recovery.
+        """
+        self._probe_pending = False
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Diagnostics view of the gate state."""
+        return {
+            "available": self.available,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "probe_pending": self._probe_pending,
+            "total_failures": self.total_failures,
+            "total_successes": self.total_successes,
+        }

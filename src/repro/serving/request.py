@@ -1,0 +1,75 @@
+"""Request objects and the coalescing key.
+
+An :class:`OpRequest` is one tenant's encrypted-operation request as it
+sits in the serving queue: the operands, the per-op parameters, the
+tenant's resolved key bundle and the ``asyncio`` future the result lands
+on.  Requests fuse into one batched launch when they share a
+:meth:`~OpRequest.coalesce_key`: the operation (plus its parameters), the
+key-bundle identity for key-consuming ops, and the
+:func:`~repro.ckks.batched_evaluator.stream_signature` of every
+ciphertext operand — the same prime-chain/level/scale/domain grouping the
+:class:`~repro.ckks.batched_evaluator.BatchedEvaluator` fuses on, applied
+up front so every chunk the engine hands over executes as a single
+``(B, L, N)`` launch sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Tuple
+
+import asyncio
+
+from ..ckks.batched_evaluator import stream_signature
+from ..ckks.ciphertext import Ciphertext
+
+__all__ = ["OpName", "OpRequest"]
+
+
+class OpName:
+    """The encrypted operations the serving layer accepts."""
+
+    ADD = "add"
+    MULTIPLY = "multiply"
+    MULTIPLY_PLAIN = "multiply_plain"
+    RESCALE = "rescale"
+    ROTATE = "rotate"
+    CONJUGATE = "conjugate"
+
+    ALL = (ADD, MULTIPLY, MULTIPLY_PLAIN, RESCALE, ROTATE, CONJUGATE)
+    #: Operations consuming a switch key; these fuse only within one
+    #: key-bundle identity (see :class:`~repro.serving.keys.TenantKeys`).
+    KEYED = frozenset((MULTIPLY, ROTATE, CONJUGATE))
+    #: Operations taking a second ciphertext operand.
+    BINARY = frozenset((ADD, MULTIPLY))
+
+
+@dataclass
+class OpRequest:
+    """One queued encrypted-operation request."""
+
+    tenant: str
+    op: str
+    ciphertext: Ciphertext
+    operand: Optional[Ciphertext] = None        # ADD / MULTIPLY rhs
+    values: Optional[Sequence] = None           # MULTIPLY_PLAIN slot vector
+    steps: int = 0                              # ROTATE step count (normalised)
+    rescale: bool = True                        # trailing RESCALE for products
+    keys: Any = None                            # resolved TenantKeys bundle
+    future: Optional["asyncio.Future"] = field(default=None, repr=False)
+    enqueued_at: float = 0.0                    # event-loop time at admission
+
+    def coalesce_key(self) -> Tuple:
+        """The compatibility key this request fuses under."""
+        params: Tuple
+        if self.op == OpName.ROTATE:
+            params = (self.steps,)
+        elif self.op in (OpName.MULTIPLY, OpName.MULTIPLY_PLAIN):
+            params = (self.rescale,)
+        else:
+            params = ()
+        key_part = self.keys.key_id if self.op in OpName.KEYED else None
+        operand_sig = (stream_signature(self.operand)
+                       if self.operand is not None else None)
+        return (self.op, params, key_part,
+                stream_signature(self.ciphertext), operand_sig)

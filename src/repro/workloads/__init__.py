@@ -1,6 +1,12 @@
-"""Workload models: ResNet-20, logistic regression, LSTM, packed bootstrapping."""
+"""Workload models (ResNet-20, logistic regression, LSTM, packed
+bootstrapping) plus the executable serving-layer statistics workload."""
 
 from .base import OperationCounts, WorkloadSpec
+from .serving_statistics import (
+    ClientStatistics,
+    ServingStatisticsReport,
+    run_serving_statistics,
+)
 from .catalog import (
     BOOTSTRAP_OPERATIONS,
     LOGISTIC_REGRESSION,
@@ -21,4 +27,7 @@ __all__ = [
     "BOOTSTRAP_OPERATIONS",
     "WORKLOADS",
     "get_workload",
+    "ClientStatistics",
+    "ServingStatisticsReport",
+    "run_serving_statistics",
 ]

@@ -1,0 +1,163 @@
+"""Measured-throughput calibration: loading, queries, model/scheduler wiring."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.batching.scheduler import BatchScheduler
+from repro.gpu import A100
+from repro.perf import (
+    CostModelConfig,
+    MeasuredThroughput,
+    ModelParameters,
+    OperationModel,
+    default_results_dir,
+)
+
+REPO_RESULTS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, os.pardir, "benchmarks", "results")
+
+SYNTHETIC = {
+    "op_batching": {
+        "matrix_N4096_L8_B8": {"fused_us": 100.0, "per_ciphertext_us": 300.0,
+                               "speedup": 3.0},
+        "matrix_N4096_L8_B16": {"fused_us": 160.0, "per_ciphertext_us": 800.0,
+                                "speedup": 5.0},
+        "matrix_N1024_L8_B8": {"fused_us": 50.0, "per_ciphertext_us": 100.0,
+                               "speedup": 2.0},
+        "unparseable-key": {"fused_us": 1.0, "per_ciphertext_us": 2.0},
+    },
+    "keyswitch_batching": {
+        "matrix_N4096_B8": {"fused_us": 400.0, "per_stream_us": 1600.0,
+                            "speedup": 4.0},
+    },
+    "float_reduction": {
+        "stage_N4096_L8_B16": {"float64_barrett_us": 10.0,
+                               "int64_detour_us": 15.0, "speedup": 1.5},
+    },
+    "backends": {
+        "blas": {"batched_us": 10.0, "speedup_vs_numpy": 2.5},
+        "numpy": {"batched_us": 25.0, "speedup_vs_numpy": 1.0},
+    },
+    "unknown_benchmark": {"whatever_N4096_B8": {"fused_us": 1.0}},
+}
+
+
+@pytest.fixture()
+def synthetic() -> MeasuredThroughput:
+    return MeasuredThroughput.from_payloads(SYNTHETIC)
+
+
+def test_payload_parsing_and_filters(synthetic):
+    assert synthetic
+    # Unknown files and unparseable keys are skipped, recognised ones kept.
+    assert {p.source for p in synthetic.points} == {
+        "op_batching", "keyswitch_batching", "float_reduction"}
+    assert len(synthetic.select(source="op_batching")) == 3
+    point = synthetic.select(source="op_batching", ring_degree=4096,
+                             label="matrix")[0]
+    assert point.limbs == 8
+    assert point.batch in (8, 16)
+    assert synthetic.backend_speedups["blas"] == 2.5
+
+
+def test_preferred_batch_is_the_measured_knee(synthetic):
+    # At N=4096 the best observed op-batching speedup sits at B=16.
+    assert synthetic.preferred_batch(4096, source="op_batching") == 16
+    # An unswept ring degree falls back to the nearest measured one.
+    assert synthetic.preferred_batch(2048, source="op_batching") in (8, 16)
+    # No matching data -> None, never a guess.
+    assert synthetic.preferred_batch(4096, source="missing") is None
+
+
+def test_ops_per_second_amortises_the_fused_launch(synthetic):
+    # keyswitch fused launch: 400us for B=8 -> 50us/op -> 20k ops/s.
+    assert synthetic.fused_op_us(4096, source="keyswitch_batching") == 50.0
+    assert synthetic.ops_per_second(4096, source="keyswitch_batching") == \
+        pytest.approx(20000.0)
+
+
+def test_mean_batched_speedup_is_geometric(synthetic):
+    # op_batching speedups: 3.0, 5.0, 2.0 -> (30)^(1/3).
+    assert synthetic.mean_batched_speedup(source="op_batching") == \
+        pytest.approx(30.0 ** (1.0 / 3.0))
+    assert MeasuredThroughput.from_payloads({}).mean_batched_speedup() == 1.0
+
+
+def test_cost_model_recalibration(synthetic):
+    config = CostModelConfig.from_measurements(synthetic)
+    base = CostModelConfig()
+    expected = base.cuda_efficiency_batched / synthetic.mean_batched_speedup(
+        source="op_batching")
+    assert config.cuda_efficiency_unbatched == pytest.approx(expected)
+    assert 0 < config.cuda_efficiency_unbatched < config.cuda_efficiency_batched
+    # The measured knee replaces the batching threshold.
+    assert config.batching_threshold == 16
+    # Explicit overrides win.
+    pinned = CostModelConfig.from_measurements(synthetic, batching_threshold=4)
+    assert pinned.batching_threshold == 4
+    # Empty calibration -> defaults unchanged.
+    empty = CostModelConfig.from_measurements(MeasuredThroughput.from_payloads({}))
+    assert empty == base
+
+
+def test_operation_model_accepts_measured(synthetic):
+    parameters = ModelParameters(ring_degree=1 << 14, level_count=9, dnum=3,
+                                 batch_size=32)
+    calibrated = OperationModel(parameters, measured=synthetic)
+    stock = OperationModel(parameters)
+    assert calibrated.measured is synthetic
+    # Recalibration changed the unbatched efficiency, so the unbatched
+    # latency prediction moves while the batched one is untouched.
+    unbatched_cal = OperationModel(parameters, measured=synthetic, batched=False)
+    unbatched_stock = OperationModel(parameters, batched=False)
+    assert calibrated.operation_time("HADD") == pytest.approx(
+        stock.operation_time("HADD"))
+    assert unbatched_cal.operation_time("HADD") != pytest.approx(
+        unbatched_stock.operation_time("HADD"))
+    # An explicit cost config still wins over the calibration.
+    pinned = OperationModel(parameters, measured=synthetic,
+                            cost_config=CostModelConfig())
+    assert pinned.operation_time("HADD") == pytest.approx(
+        stock.operation_time("HADD"))
+
+
+def test_scheduler_uses_measured_knee(synthetic):
+    static = BatchScheduler(A100)
+    measured = BatchScheduler(A100, measured=synthetic)
+    static_plan = static.plan(4096, 9)
+    measured_plan = measured.plan(4096, 9)
+    assert static_plan.measured_batch is None and not static_plan.measured
+    assert measured_plan.measured_batch == 16
+    # VRAM is not the binding limit at this size, so the knee decides.
+    assert measured_plan.batch_size == 16
+    # ``requested`` still caps the measured recommendation.
+    assert measured.plan(4096, 9, requested=4).batch_size == 4
+    # An empty calibration behaves exactly like the static scheduler.
+    empty = BatchScheduler(A100, measured=MeasuredThroughput.from_payloads({}))
+    assert empty.measured is None
+    assert empty.plan(4096, 9).batch_size == static_plan.batch_size
+
+
+def test_loads_committed_results_dir():
+    measured = MeasuredThroughput.from_results_dir(REPO_RESULTS)
+    assert measured.points, "committed benchmarks/results JSONs should parse"
+    assert measured.backend_speedups.get("blas", 0) > 1.0
+    assert measured.mean_batched_speedup() > 1.0
+    assert measured.preferred_batch(4096, source="op_batching") in (8, 16)
+    description = measured.describe()
+    assert description["points"] == len(measured.points)
+    # The walk-up default resolver finds the same directory in a checkout.
+    assert default_results_dir() is not None
+
+
+def test_missing_and_corrupt_results_are_tolerated(tmp_path):
+    assert not MeasuredThroughput.from_results_dir(str(tmp_path / "absent"))
+    (tmp_path / "op_batching.json").write_text("{not json")
+    (tmp_path / "keyswitch_batching.json").write_text(json.dumps(
+        {"matrix_N1024_B8": {"fused_us": 10.0, "per_stream_us": 20.0}}))
+    measured = MeasuredThroughput.from_results_dir(str(tmp_path))
+    assert [p.source for p in measured.points] == ["keyswitch_batching"]

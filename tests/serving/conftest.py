@@ -1,0 +1,66 @@
+"""Serving-suite fixtures and the coroutine test runner.
+
+The environment ships no asyncio pytest plugin, so this conftest carries
+a minimal one: any ``async def`` test in this directory runs to
+completion on a fresh event loop via :func:`asyncio.run`.  Each test
+therefore gets its own loop — serving engines must be built *inside* the
+test coroutine (the ``serve`` fixture returns a factory, not an engine).
+"""
+
+import asyncio
+import inspect
+
+import pytest
+
+from repro.serving import KeyRegistry, ServingConfig, ServingEngine
+
+
+def pytest_pyfunc_call(pyfuncitem):
+    """Run ``async def`` tests with ``asyncio.run`` on a fresh loop."""
+    function = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(function):
+        return None
+    kwargs = {name: pyfuncitem.funcargs[name]
+              for name in pyfuncitem._fixtureinfo.argnames}
+    asyncio.run(function(**kwargs))
+    return True
+
+
+@pytest.fixture()
+def fhe(toy_fhe):
+    """The session-scoped toy facade (ring 64, 3 levels, full keys)."""
+    return toy_fhe
+
+
+@pytest.fixture()
+def serve(fhe):
+    """Factory building serving engines over the toy facade.
+
+    Keyword arguments become :class:`ServingConfig` fields; ``registry``
+    and ``executor`` pass through to the engine.
+    """
+
+    def build(*, registry=None, executor=None, **config_kwargs) -> ServingEngine:
+        config = ServingConfig(**config_kwargs) if config_kwargs else None
+        return ServingEngine(fhe, config=config, registry=registry,
+                             executor=executor)
+
+    return build
+
+
+@pytest.fixture()
+def adopted_registry(fhe):
+    """A registry whose ``owner`` tenant reuses the facade's key material.
+
+    Results produced through this tenant are bit-comparable with the
+    facade's own sequential :class:`~repro.ckks.evaluator.Evaluator`.
+    """
+    registry = KeyRegistry(fhe.context, keygen=fhe._keygen)
+    registry.adopt(
+        "owner",
+        secret_key=fhe.secret_key,
+        public_key=fhe.public_key,
+        relinearization_key=fhe.relinearization_key,
+        rotation_keys=fhe.rotation_keys,
+    )
+    return registry

@@ -1,0 +1,152 @@
+"""Coalescing correctness: served results are bit-identical to sequential.
+
+Property-style suite: for random interleavings of mixed-operation,
+mixed-level requests, every ciphertext the serving engine resolves must
+be *bit-identical* — residues, scale, level, domains — to running the
+same operation through the sequential :class:`~repro.ckks.evaluator.
+Evaluator`, no matter how the requests coalesced.  The ``owner`` tenant
+adopts the facade's key material so both paths consume identical keys.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving import OpName, ServingEngine, UnknownTenant
+
+
+def assert_same_ciphertext(actual, expected):
+    assert np.array_equal(actual.c0.residues, expected.c0.residues)
+    assert np.array_equal(actual.c1.residues, expected.c1.residues)
+    assert actual.scale == expected.scale
+    assert actual.level == expected.level
+    assert actual.c0.domain == expected.c0.domain
+    assert actual.c1.domain == expected.c1.domain
+
+
+def _sequential(fhe, request):
+    """The sequential-evaluator reference for one request tuple."""
+    evaluator = fhe.evaluator
+    op, ciphertext, operand, values, steps = request
+    if op == OpName.ADD:
+        return evaluator.add(ciphertext, operand)
+    if op == OpName.MULTIPLY:
+        return evaluator.multiply_and_rescale(ciphertext, operand,
+                                              fhe.relinearization_key)
+    if op == OpName.MULTIPLY_PLAIN:
+        plaintext = fhe.encryptor.encode(values, level=ciphertext.level)
+        return evaluator.multiply_plain(ciphertext, plaintext)
+    if op == OpName.RESCALE:
+        return evaluator.rescale(ciphertext)
+    if op == OpName.ROTATE:
+        return evaluator.rotate(ciphertext, steps, fhe.rotation_keys)
+    return evaluator.conjugate(ciphertext, fhe.rotation_keys)
+
+
+def _submit(engine, request):
+    """The served counterpart of :func:`_sequential`."""
+    op, ciphertext, operand, values, steps = request
+    if op == OpName.ADD:
+        return engine.add("owner", ciphertext, operand)
+    if op == OpName.MULTIPLY:
+        return engine.multiply("owner", ciphertext, operand)
+    if op == OpName.MULTIPLY_PLAIN:
+        return engine.multiply_plain("owner", ciphertext, values,
+                                     rescale=False)
+    if op == OpName.RESCALE:
+        return engine.rescale("owner", ciphertext)
+    if op == OpName.ROTATE:
+        return engine.rotate("owner", ciphertext, steps)
+    return engine.conjugate("owner", ciphertext)
+
+
+def _random_requests(fhe, rng, count):
+    """Mixed ops over ciphertexts at mixed levels (different prime chains)."""
+    slots = fhe.slot_count
+    max_level = fhe.context.max_level
+    requests = []
+    for _ in range(count):
+        op = OpName.ALL[rng.integers(len(OpName.ALL))]
+        level = int(rng.integers(1, max_level + 1))   # keep RESCALE legal
+        ciphertext = fhe.evaluator.drop_to_level(
+            fhe.encrypt(rng.uniform(-1, 1, slots)), level)
+        operand = None
+        values = None
+        steps = 0
+        if op in OpName.BINARY:
+            operand = fhe.evaluator.drop_to_level(
+                fhe.encrypt(rng.uniform(-1, 1, slots)), level)
+        if op == OpName.MULTIPLY_PLAIN:
+            values = rng.uniform(-1, 1, slots)
+        if op == OpName.ROTATE:
+            steps = int(rng.integers(1, 4))           # keys 1..3 pre-registered
+        requests.append((op, ciphertext, operand, values, steps))
+    return requests
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+async def test_random_interleavings_match_sequential(fhe, adopted_registry, seed):
+    rng = np.random.default_rng(seed)
+    requests = _random_requests(fhe, rng, count=24)
+    expected = [_sequential(fhe, request) for request in requests]
+    engine = ServingEngine(fhe, registry=adopted_registry)
+    order = rng.permutation(len(requests))
+    async with engine:
+        shuffled = await asyncio.gather(
+            *[_submit(engine, requests[index]) for index in order])
+    for position, index in enumerate(order):
+        assert_same_ciphertext(shuffled[position], expected[index])
+    # The interleaving actually exercised fusion, not 24 singleton batches.
+    assert engine.diagnostics()["batches"]["executed"] < len(requests)
+
+
+async def test_mixed_levels_fuse_within_level_only(fhe, adopted_registry, rng):
+    slots = fhe.slot_count
+    high = [fhe.encrypt(rng.uniform(-1, 1, slots)) for _ in range(3)]
+    low = [fhe.evaluator.drop_to_level(fhe.encrypt(rng.uniform(-1, 1, slots)), 1)
+           for _ in range(3)]
+    expected = ([fhe.evaluator.conjugate(c, fhe.rotation_keys) for c in high]
+                + [fhe.evaluator.conjugate(c, fhe.rotation_keys) for c in low])
+    engine = ServingEngine(fhe, registry=adopted_registry)
+    async with engine:
+        results = await asyncio.gather(
+            *[engine.conjugate("owner", c) for c in high + low])
+    for got, want in zip(results, expected):
+        assert_same_ciphertext(got, want)
+    # Two prime chains → two fused launches, each of three streams.
+    histogram = engine.diagnostics()["batches"]["histogram"]
+    assert histogram.get(3) == 2
+
+
+async def test_degenerate_single_request_flush(fhe, adopted_registry, rng):
+    ciphertext = fhe.encrypt(rng.uniform(-1, 1, fhe.slot_count))
+    operand = fhe.encrypt(rng.uniform(-1, 1, fhe.slot_count))
+    expected = fhe.evaluator.add(ciphertext, operand)
+    engine = ServingEngine(fhe, registry=adopted_registry)
+    async with engine:
+        result = await engine.add("owner", ciphertext, operand)
+    assert_same_ciphertext(result, expected)
+    diag = engine.diagnostics()
+    assert diag["batches"]["histogram"] == {1: 1}     # a B==1 flush is legal
+
+
+async def test_empty_queue_flush_is_a_no_op(fhe, adopted_registry):
+    engine = ServingEngine(fhe, registry=adopted_registry)
+    engine._flush()                                   # nothing queued: no effect
+    async with engine:
+        await asyncio.sleep(0.01)                     # worker idles harmlessly
+    assert engine.diagnostics()["batches"]["executed"] == 0
+
+
+async def test_missing_tenant_amid_live_traffic(fhe, adopted_registry, rng):
+    ciphertext = fhe.encrypt(rng.uniform(-1, 1, fhe.slot_count))
+    operand = fhe.encrypt(rng.uniform(-1, 1, fhe.slot_count))
+    expected = fhe.evaluator.add(ciphertext, operand)
+    engine = ServingEngine(fhe, registry=adopted_registry)
+    async with engine:
+        with pytest.raises(UnknownTenant):
+            engine.submit_nowait("ghost", OpName.ADD, ciphertext, operand)
+        result = await engine.add("owner", ciphertext, operand)
+    assert_same_ciphertext(result, expected)          # engine was unaffected
+    assert engine.health.available

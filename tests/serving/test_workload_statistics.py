@@ -1,0 +1,37 @@
+"""The encrypted-statistics workload as concurrent serving traffic.
+
+Proves the B axis fills from real request streams: many clients each run
+their own mean/variance pipeline, awaiting every intermediate, and the
+engine still coalesces each round into fused launches.
+"""
+
+import numpy as np
+
+from repro.workloads import run_serving_statistics
+
+
+async def test_concurrent_clients_fill_the_batch_axis(fhe):
+    clients = 6
+    report = await run_serving_statistics(fhe, clients=clients, seed=7)
+
+    assert len(report.clients) == clients
+    for stats in report.clients:
+        assert stats.mean_error < 5e-2
+        assert stats.variance_error < 5e-2
+
+    # Every client issued the same pipeline; lockstep rounds must have
+    # coalesced, not executed as one-request batches.
+    assert report.requests_completed > clients
+    assert report.mean_batch_size >= 2.0
+    assert report.batches_executed < report.requests_completed
+
+
+async def test_explicit_datasets_and_report_fields(fhe, rng):
+    datasets = [rng.uniform(-0.5, 0.5, fhe.slot_count) for _ in range(2)]
+    report = await run_serving_statistics(fhe, clients=2, datasets=datasets)
+    for stats, values in zip(report.clients, datasets):
+        assert np.isclose(stats.expected_mean, float(np.mean(values)))
+        assert np.isclose(stats.expected_variance, float(np.var(values)))
+        assert stats.mean_error < 5e-2
+    assert report.max_error < 5e-2
+    assert report.diagnostics["requests"]["rejected"] == 0
