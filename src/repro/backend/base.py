@@ -63,14 +63,43 @@ class ArrayBackend(abc.ABC):
     #: set False so every host↔device crossing is counted.
     device_is_host = True
 
-    #: Whether the float-resident element-wise kernels below (``f*``) are a
-    #: profitable substrate for this backend.  The engines and funnels only
-    #: take a float-resident fast path when this is True *and* the
-    #: :class:`~repro.numtheory.floatmod.BarrettChain` exactness guard
-    #: accepts the operand bounds; everything else keeps the int64 path.
-    #: The default implementations are plain numpy and correct everywhere —
-    #: the flag is about profit, not correctness.
+    #: Deprecated alias of ``capabilities()["float_residency"]``.  Kept so
+    #: external code that still reads the bare class attribute keeps
+    #: working; new code (the funnels, the engines, test auto-skips)
+    #: queries :meth:`capabilities` instead.
     supports_float_residency = False
+
+    def capabilities(self) -> dict:
+        """Structured capability report for this backend.
+
+        The report is the single place dispatch layers look when deciding
+        which fast path a backend supports:
+
+        * ``name`` — the registry identifier;
+        * ``device_is_host`` — whether native storage *is* host numpy
+          memory (False on accelerator backends, where every host↔device
+          crossing is transfer-counted);
+        * ``float_residency`` — whether the float-resident element-wise
+          kernels (``f*``) are a profitable substrate here.  The engines
+          and funnels only take a float-resident fast path when this is
+          True *and* the :class:`~repro.numtheory.floatmod.BarrettChain`
+          exactness guard accepts the operand bounds; everything else
+          keeps the int64 path.  The default kernels are plain numpy and
+          correct everywhere — the flag is about profit, not correctness;
+        * ``exact_fallback`` — whether guard-rejected launches fall back
+          to an exact path (always True for the in-tree backends).
+
+        Subclasses that toggle the legacy class attributes inherit a
+        correct report automatically; backends with richer capabilities
+        may override and extend the dict (readers must tolerate extra
+        keys and use ``.get`` for optional ones).
+        """
+        return {
+            "name": self.name,
+            "device_is_host": bool(self.device_is_host),
+            "float_residency": bool(self.supports_float_residency),
+            "exact_fallback": True,
+        }
 
     @classmethod
     def is_available(cls) -> bool:
@@ -193,9 +222,12 @@ class ArrayBackend(abc.ABC):
                         axis: int = 0) -> np.ndarray:
         """Element-wise multiply of float residue images, canonical result.
 
-        Exact when ``chain.fits((qmax - 1)**2)`` for canonical operands.
+        Exact when ``chain.fits_product()`` for canonical operands: a
+        single pass when ``(qmax - 1)**2`` fits the mantissa, the hi/lo
+        split (:meth:`~repro.numtheory.floatmod.BarrettChain.
+        product_reduce`) for wider primes up to 2**31.
         """
-        return chain.canonical_reduce(lhs * rhs, axis=axis)
+        return chain.product_reduce(lhs, rhs, axis=axis)
 
     def fadd_limbs(self, a: np.ndarray, b: np.ndarray, chain, *,
                    axis: int = 0) -> np.ndarray:
@@ -211,6 +243,18 @@ class ArrayBackend(abc.ABC):
         q_col, _ = chain.columns(a.ndim, axis)
         out = a - b
         np.add(out, q_col, out=out, where=out < 0)
+        return out
+
+    def fneg_limbs(self, a: np.ndarray, chain, *,
+                   axis: int = 0) -> np.ndarray:
+        """Element-wise ``(-a) mod q`` on canonical float residue images.
+
+        Always exact: the only intermediate is ``q - a`` with ``a`` in
+        ``[0, q)``, so no operand-bound guard is needed.
+        """
+        q_col, _ = chain.columns(a.ndim, axis)
+        out = q_col - a
+        np.subtract(out, q_col, out=out, where=out == q_col)
         return out
 
     def fscalar_mul_limbs(self, a: np.ndarray, scalars: np.ndarray, chain, *,

@@ -99,6 +99,21 @@ class FloatResidues(FloatOperandCache):
             self._matrix = out
         return self._matrix
 
+    def split(self):
+        """Hi/lo split computed in float64 — never materialises int64.
+
+        Scaling by a power of two only touches the exponent, so the
+        floor/subtract decomposition is bit-exact and the residue image
+        stays float-resident even through split GEMM paths.
+        """
+        if self._split is None:
+            shift = max(1, (self.max_value.bit_length() + 1) // 2)
+            pow_f = float(1 << shift)
+            hi = np.floor(self._values * (1.0 / pow_f))
+            lo = self._values - hi * pow_f
+            self._split = (shift, hi, lo)
+        return self._split
+
 
 def float_matmul_limbs(lhs, rhs, column, inner, lhs_cache, rhs_cache):
     """Exact float64 fast path for the batched GEMM, or None if unsafe.
@@ -237,7 +252,7 @@ class BlasFloat64Backend(NumpyBackend):
         operands = self._float_operands(lhs, rhs)
         if operands is not None:
             chain = _barrett_chain(moduli)
-            if chain.fits((chain.qmax - 1) ** 2):
+            if chain.fits_product():
                 out = self.fhadamard_limbs(operands[0], operands[1], chain)
                 return DeviceBuffer.from_float(
                     FloatResidues(out, chain.qmax - 1))
@@ -248,7 +263,7 @@ class BlasFloat64Backend(NumpyBackend):
         operands = self._float_operands(a, b)
         if operands is not None:
             chain = _barrett_chain(moduli)
-            if chain.fits((chain.qmax - 1) ** 2):
+            if chain.fits_product():
                 out = self.fhadamard_limbs(operands[0], operands[1], chain)
                 return DeviceBuffer.from_float(
                     FloatResidues(out, chain.qmax - 1))
@@ -275,3 +290,73 @@ class BlasFloat64Backend(NumpyBackend):
                 return DeviceBuffer.from_float(
                     FloatResidues(out, chain.qmax - 1))
         return super().mat_sub_native(a, b, moduli)
+
+    def mat_neg_native(self, a: DeviceBuffer,
+                       moduli: np.ndarray) -> DeviceBuffer:
+        a_f = self._peek_float(a)
+        if a_f is not None:
+            chain = _barrett_chain(moduli)
+            out = self.fneg_limbs(a_f, chain)
+            return DeviceBuffer.from_float(FloatResidues(out, chain.qmax - 1))
+        return super().mat_neg_native(a, moduli)
+
+    def mat_reduce_native(self, matrix: DeviceBuffer,
+                          moduli: np.ndarray) -> DeviceBuffer:
+        cache = matrix.float_cache()
+        if cache is not None:
+            chain = _barrett_chain(moduli)
+            # The operand may hold residues of a *different* basis (the
+            # rescale reduces the dropped limb against every surviving
+            # prime), so the guard uses the image's own bound.
+            if chain.fits(cache.max_value):
+                out = self.freduce_limbs(cache.full(), chain)
+                return DeviceBuffer.from_float(
+                    FloatResidues(out, chain.qmax - 1))
+        return super().mat_reduce_native(matrix, moduli)
+
+    def matmul_rows_native(self, lhs: DeviceBuffer, rhs: DeviceBuffer,
+                           row_moduli: np.ndarray, *,
+                           operand_bound: Optional[int] = None) -> DeviceBuffer:
+        lhs_cache, rhs_cache = lhs.float_cache(), rhs.float_cache()
+        if lhs_cache is not None and rhs_cache is not None:
+            chain = _barrett_chain(row_moduli)
+            out = self._float_matmul_rows(lhs_cache, rhs_cache, chain,
+                                          lhs.shape[-1])
+            if out is not None:
+                return DeviceBuffer.from_float(
+                    FloatResidues(out, chain.qmax - 1))
+        return super().matmul_rows_native(lhs, rhs, row_moduli,
+                                          operand_bound=operand_bound)
+
+    def _float_matmul_rows(self, lhs_cache, rhs_cache, chain, inner: int):
+        """Row-moduli dgemm on resident float images, or None if unsafe.
+
+        The fast-basis-conversion shape: lhs rows (the precomputed
+        ``q_hat mod p_j`` constants) pair with output row moduli, the rhs
+        (float-resident source residues) is shared.  A single dgemm when
+        the accumulation bound fits the mantissa; otherwise the lhs hi/lo
+        split halves the per-partial bit-width and the partials are
+        recombined entirely in float via
+        :meth:`~repro.numtheory.floatmod.BarrettChain.product_reduce`
+        against the per-row residues of ``2**shift`` — no int64 exists at
+        any point.
+        """
+        bound = inner * lhs_cache.max_value * rhs_cache.max_value
+        if chain.fits(bound):
+            raw = np.matmul(lhs_cache.full(), rhs_cache.full())
+            return chain.canonical_reduce(raw)
+        shift, hi, lo = lhs_cache.split()
+        hi_max = max(1, lhs_cache.max_value >> shift)
+        lo_max = (1 << shift) - 1
+        rhs_max = rhs_cache.max_value
+        if not (chain.fits(inner * hi_max * rhs_max)
+                and chain.fits(inner * lo_max * rhs_max)
+                and chain.fits_product()):
+            return None
+        rhs_f = rhs_cache.full()
+        high = chain.canonical_reduce(np.matmul(hi, rhs_f))
+        low = chain.canonical_reduce(np.matmul(lo, rhs_f))
+        weight_col = ((1 << shift) % chain.moduli_array
+                      ).astype(np.float64)[:, None]
+        weighted = chain.product_reduce(high, weight_col)
+        return self.fadd_limbs(weighted, low, chain)

@@ -374,6 +374,38 @@ def _device_group(parts: Sequence[ArrayLike]):
     return backend
 
 
+def _float_group(parts: Sequence[ArrayLike]):
+    """The float64 images when combining them loses no residency.
+
+    Returns the per-part float caches iff every part is a non-device
+    handle carrying a float image and at least one of them is
+    *float-only* (no host image): combining in float64 then keeps the
+    whole group int64-free, whereas casting a float-only part to int64
+    just to join host siblings would break the residency chain the
+    float-native kernels built.  When every part already has a host
+    image, the host combine is the cheaper exact path.
+    """
+    caches = []
+    float_only = False
+    for part in parts:
+        if not isinstance(part, DeviceBuffer) or part._on_device():
+            return None
+        cache = part._float_cache
+        if cache is None:
+            return None
+        caches.append(cache)
+        if part._host is None and part._native is None:
+            float_only = True
+    return caches if float_only else None
+
+
+def _combine_float(caches, combine, axis: int) -> DeviceBuffer:
+    from .blas_backend import FloatResidues  # local: avoids import cycle
+    values = combine([c.full() for c in caches], axis=axis)
+    bound = max(int(c.max_value) for c in caches)
+    return DeviceBuffer.from_float(FloatResidues(values, bound))
+
+
 def stack_arrays(parts: Sequence[ArrayLike], axis: int = 0) -> ArrayLike:
     """``np.stack`` over arrays/handles, staying device-side when possible."""
     parts = list(parts)
@@ -381,6 +413,9 @@ def stack_arrays(parts: Sequence[ArrayLike], axis: int = 0) -> ArrayLike:
     if backend is not None:
         native = backend.nat_stack([p._native for p in parts], axis)
         return DeviceBuffer(native=native, backend=backend)
+    caches = _float_group(parts)
+    if caches is not None:
+        return _combine_float(caches, np.stack, axis)
     result = np.stack([as_ndarray(p) for p in parts], axis=axis)
     return match_residency(result, *parts)
 
@@ -392,6 +427,9 @@ def concatenate_arrays(parts: Sequence[ArrayLike], axis: int = 0) -> ArrayLike:
     if backend is not None:
         native = backend.nat_concat([p._native for p in parts], axis)
         return DeviceBuffer(native=native, backend=backend)
+    caches = _float_group(parts)
+    if caches is not None:
+        return _combine_float(caches, np.concatenate, axis)
     result = np.concatenate([as_ndarray(p) for p in parts], axis=axis)
     return match_residency(result, *parts)
 

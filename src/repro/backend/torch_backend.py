@@ -73,6 +73,20 @@ class TorchBackend(NumpyBackend):
     def is_available(cls) -> bool:
         return torch is not None
 
+    def capabilities(self) -> dict:  # pragma: no cover - needs torch
+        """The base report plus the torch GEMM strategy probes.
+
+        The float64-split GEMM is per-launch arithmetic, not a resident
+        float image between launches, so ``float_residency`` stays False
+        — the hi/lo split that *does* extend float residency to 30-bit
+        chains lives in :mod:`repro.numtheory.floatmod` and is reported
+        by the blas backend.
+        """
+        report = super().capabilities()
+        report["int64_matmul"] = bool(self._int64_matmul)
+        report["float64_split_gemm"] = bool(self.use_float64)
+        return report
+
     def _probe_int64_matmul(self) -> bool:  # pragma: no cover - needs torch
         """Whether this device supports int64 matmul (CUDA often not)."""
         try:

@@ -35,13 +35,17 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend.blas_backend import FloatResidues
 from ..backend.residency import (
+    DeviceBuffer,
     as_ndarray,
     concatenate_arrays,
     contiguous,
+    is_buffer,
     stack_arrays,
 )
 from ..kernels.base import KernelName
+from ..numtheory.floatmod import get_barrett_chain
 from ..numtheory.modular import mat_mod_add, mat_mod_mul, mat_mod_reduce
 from ..rns.poly import PolyDomain, RnsPolynomial
 from .context import CkksContext
@@ -191,10 +195,23 @@ class BatchedKeySwitcher:
         int64 sum is exact whenever ``dnum * max(q)`` fits in int64 (always
         for word-sized primes); the fold then reduces once per row, which
         equals the sequential chain of Ele-Add launches bit for bit.  The
-        pairwise funnel fallback covers pathological moduli.  The reduction
-        over the dnum axis stages on host (``as_ndarray`` — a counted
-        crossing for device-resident products).
+        pairwise funnel fallback covers pathological moduli.  A
+        float-resident product tensor folds entirely in float64 (the sum
+        of ``dnum`` canonical residues stays far inside the mantissa), so
+        the inner product materialises no int64 image; other residencies
+        stage on host (``as_ndarray`` — a counted crossing for
+        device-resident products).
         """
+        if (is_buffer(products) and products.host_image is None
+                and products.resident_backend is None):
+            cache = products.float_cache()
+            chain = get_barrett_chain(ext_column)
+            if cache is not None and chain.fits(
+                    products.shape[1] * int(cache.max_value)):
+                summed = cache.full().sum(axis=1)
+                folded = chain.canonical_reduce(summed, axis=1)
+                return DeviceBuffer.from_float(
+                    FloatResidues(folded, chain.qmax - 1))
         products = as_ndarray(products)
         batch, dnum, ext_count, ring_degree = products.shape
         tiled = np.tile(ext_column, (batch, 1))

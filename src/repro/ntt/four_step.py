@@ -203,8 +203,8 @@ class FourStepNtt(NttEngine):
         float-resident handle whose int64 image is built lazily at the
         host boundary.
 
-        Eligibility: the resolved backend opts in
-        (``supports_float_residency``), this engine's GEMM/Hadamard hooks
+        Eligibility: the resolved backend's ``capabilities()`` report
+        declares ``float_residency``, this engine's GEMM/Hadamard hooks
         are not overridden (the tensor-core engine lowers them to INT8 and
         must keep doing so), and the whole transform fits the 2**53
         exactness guard.  Any miss returns None and the caller runs the
@@ -214,7 +214,7 @@ class FourStepNtt(NttEngine):
                 or type(self)._hadamard_limbs is not FourStepNtt._hadamard_limbs):
             return None
         backend = resolve_backend(self.backend)
-        if not getattr(backend, "supports_float_residency", False):
+        if not backend.capabilities().get("float_residency", False):
             return None
         chain = stack.barrett_chain
         q = chain.qmax

@@ -20,8 +20,9 @@ untouched — they keep the exact historical code path.  Handles are trusted
 to hold reduced residues; only the oversized-moduli exact path materialises
 them on host (a counted transfer on device backends).
 
-Float residency: on backends that opt in (``supports_float_residency``,
-i.e. blas), a handle operand that carries a float64 residue image — a
+Float residency: on backends whose ``capabilities()`` report declares
+``float_residency`` (i.e. blas), a handle operand that carries a float64
+residue image — a
 twiddle-stack buffer, or the :class:`~repro.backend.blas_backend.
 FloatResidues` output of a previous float-resident launch — dispatches
 :func:`modular_hadamard_limbs` and the batched GEMM to lazy-Barrett float64

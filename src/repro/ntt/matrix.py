@@ -13,7 +13,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..backend.residency import contiguous, is_buffer
+from ..backend.blas_backend import FloatResidues
+from ..backend.registry import resolve_backend
+from ..backend.residency import DeviceBuffer, contiguous, is_buffer
 from ..numtheory.modular import mat_mod_mul
 from .base import NttEngine
 from .gemm_utils import modular_matmul, modular_matmul_limbs
@@ -32,6 +34,9 @@ class MatrixNtt(NttEngine):
                  backend=None) -> None:
         super().__init__(ring_degree, modulus, backend=backend)
         self.twiddles = twiddles or get_twiddle_cache(ring_degree, modulus)
+        # Shape-matched scratch for the float-resident ops pipeline (see
+        # _float_scratch); built lazily, replaced when the shape changes.
+        self._float_buffers = None
 
     def forward(self, coefficients: np.ndarray) -> np.ndarray:
         coefficients = self._validate(coefficients)
@@ -116,6 +121,9 @@ class MatrixNtt(NttEngine):
         stacks, moduli_array = self._validate_ops(stacks, moduli)
         stacks = self._stage_resident(stacks)
         stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
+        fused = self._float_ops_pipeline(stacks, stack, inverse=False)
+        if fused is not None:
+            return fused
         weights = (stack.forward_matrices_buffer() if is_buffer(stacks)
                    else stack.forward_matrices())
         rhs = contiguous(stacks.transpose(1, 2, 0))                 # (L, N, B)
@@ -131,6 +139,9 @@ class MatrixNtt(NttEngine):
         stacks, moduli_array = self._validate_ops(stacks, moduli)
         stacks = self._stage_resident(stacks)
         stack = get_twiddle_stack(self.ring_degree, tuple(int(q) for q in moduli))
+        fused = self._float_ops_pipeline(stacks, stack, inverse=True)
+        if fused is not None:
+            return fused
         weights = (stack.inverse_matrices_buffer() if is_buffer(stacks)
                    else stack.inverse_matrices())
         rhs = contiguous(stacks.transpose(1, 2, 0))                 # (L, N, B)
@@ -141,3 +152,80 @@ class MatrixNtt(NttEngine):
         raw = mat_mod_mul(raw, stack.degree_inverse_column[:, :, None],
                           moduli_array[:, None, None])
         return contiguous(raw.transpose(2, 0, 1))                   # (B, L, N)
+
+    # -- float-resident ops pipeline ------------------------------------
+    def _float_scratch(self, shape):
+        """Three reusable float64 buffers of ``shape`` (input, ping, pong).
+
+        Same rationale as the four-step engine's scratch set: the
+        pipeline's temporaries dominate page-fault cost at production
+        shapes, so one shape-matched set lives on the engine.  Results
+        handed to callers are always fresh copies, never views of these.
+        """
+        cached = self._float_buffers
+        if cached is None or cached[0].shape != shape:
+            cached = tuple(np.empty(shape, dtype=np.float64)
+                           for _ in range(3))
+            self._float_buffers = cached
+        return cached
+
+    def _float_ops_pipeline(self, stacks, stack, *, inverse: bool):
+        """Float64-resident single-GEMM pipeline, or None when ineligible.
+
+        The matrix engine's whole ops transform is one ``(L, N, N) @
+        (L, N, B)`` GEMM, so the float path is a raw dgemm over the cached
+        float64 twiddle stack followed by a lazy float64 Barrett chain —
+        the inverse direction folds the degree-inverse multiply into the
+        reduction passes, exactly like the four-step pipeline.  For
+        residency-handle inputs the result is a float-resident handle;
+        int64 only ever exists for plain-array callers.
+
+        Eligibility mirrors four_step: the resolved backend reports
+        ``float_residency`` and the full-length accumulation fits the
+        2**53 guard (``N * (q-1)**2`` — tighter than the four-step bound,
+        which is the quadratic-GEMM price this engine pays).  A miss
+        returns None and the caller runs the exact int64 path.
+        """
+        backend = resolve_backend(self.backend)
+        if not backend.capabilities().get("float_residency", False):
+            return None
+        chain = stack.barrett_chain
+        q = chain.qmax
+        n = self.ring_degree
+        bound = max(n * (q - 1) ** 2, 2 * q * (q - 1))
+        if not chain.fits(bound):
+            return None
+        batch, limbs = stacks.shape[0], stacks.shape[1]
+        if batch == 0:
+            return None
+        weights_f = (stack.inverse_matrices_cache() if inverse
+                     else stack.forward_matrices_cache()).full()
+        shape = (limbs, n, batch)
+        conv, work_a, work_b = self._float_scratch(shape)
+        a_f = None
+        if is_buffer(stacks):
+            cache = stacks.float_cache()
+            if cache is not None:
+                a_f = cache.full().transpose(1, 2, 0)           # (L, N, B)
+        if a_f is None:
+            host = stacks.ensure_host() if is_buffer(stacks) else stacks
+            np.copyto(conv, host.transpose(1, 2, 0), casting="unsafe")
+            a_f = conv
+        raw = backend.fmatmul(weights_f, a_f, out=work_a)
+        if inverse:
+            # One lazy pass confines the residues to (-q, 2q); the scalar
+            # multiply then stays within the guard, and the canonical
+            # passes finish the fold.
+            lazy = chain.lazy_reduce(raw, axis=0, out=work_b)
+            np.multiply(lazy,
+                        stack.degree_inverse_float.reshape(limbs, 1, 1),
+                        out=raw)
+        result = chain.canonical_reduce(raw, axis=0, out=raw,
+                                        scratch=work_b)
+        flat = result.transpose(2, 0, 1)                        # (B, L, N)
+        if is_buffer(stacks):
+            return DeviceBuffer.from_float(
+                FloatResidues(np.ascontiguousarray(flat), q - 1))
+        out = np.empty(flat.shape, dtype=np.int64)
+        np.copyto(out, flat, casting="unsafe")
+        return out

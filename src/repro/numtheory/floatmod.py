@@ -96,6 +96,7 @@ class BarrettChain:
         self.qf = self.moduli_array.astype(np.float64)
         self.inv = np.asarray([barrett_inverse(q) for q in self.moduli])
         self._columns: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        self._split_shift: Optional[int] = None
 
     @property
     def limb_count(self) -> int:
@@ -144,6 +145,70 @@ class BarrettChain:
         out *= q_col
         np.subtract(values, out, out=out)
         return out
+
+    # ------------------------------------------------------------------
+    # Hi/lo split products: exact element-wise multiply past ~26 bits.
+    #
+    # A single-pass product of canonical residues needs (q-1)**2 + q in
+    # the mantissa, which caps the chain at ~26-bit primes.  Splitting one
+    # operand as ``a = a_hi * 2**s + a_lo`` (both parts exact in float64)
+    # rewrites the product as
+    #
+    #     (a * b) mod q = (a_hi * [(2**s * b) mod q] + a_lo * b) mod q
+    #
+    # where every intermediate is bounded by roughly ``q**1.5`` — inside
+    # 2**53 for every modulus the int64 funnels dispatch to backends
+    # (they keep >= 2**31 on object paths) and well past it.  This is the
+    # float-resident analogue of the torch backend's hi/lo split GEMM.
+    # ------------------------------------------------------------------
+    @property
+    def split_shift(self) -> int:
+        """The hi/lo split point ``s`` (roughly half the residue width)."""
+        if self._split_shift is None:
+            self._split_shift = max(1, ((self.qmax - 1).bit_length() + 1) // 2)
+        return self._split_shift
+
+    def fits_product(self) -> bool:
+        """Whether ``(a * b) mod q`` on canonical residues is float-exact.
+
+        True when the single-pass product fits the mantissa, or when the
+        hi/lo split restores exactness (every intermediate of the split
+        identity above passes :meth:`fits` — which holds for every
+        production prime width; the guard only rejects around 36-bit
+        moduli).  Moduli at or beyond 2**31 never reach a float kernel
+        anyway: the dispatching funnels keep them on their exact
+        object-dtype paths because a single int64 residue product would
+        overflow there.
+        """
+        m = self.qmax - 1
+        if self.fits(m * m):
+            return True
+        shift = self.split_shift
+        hi_max = m >> shift
+        lo_max = (1 << shift) - 1
+        return self.fits(m << shift) and self.fits((hi_max + lo_max) * m)
+
+    def product_reduce(self, a: np.ndarray, b: np.ndarray, *,
+                       axis: int = 0) -> np.ndarray:
+        """Canonical ``(a * b) mod q`` for canonical float residue images.
+
+        Single float64 pass when ``(qmax-1)**2`` fits the mantissa; the
+        hi/lo split otherwise.  Callers own the :meth:`fits_product`
+        guard — operands must be canonical residues of this chain.
+        """
+        m = self.qmax - 1
+        if self.fits(m * m):
+            return self.canonical_reduce(a * b, axis=axis)
+        shift = self.split_shift
+        pow_f = float(1 << shift)
+        # (2**s * b) mod q: bounded by (q-1) << s, exact under the guard.
+        b_weighted = self.canonical_reduce(b * pow_f, axis=axis)
+        # Exact float64 split of ``a``: scaling by a power of two only
+        # touches the exponent, so floor/subtract reconstruct hi/lo bit
+        # for bit.
+        a_hi = np.floor(a * (1.0 / pow_f))
+        a_lo = a - a_hi * pow_f
+        return self.canonical_reduce(a_hi * b_weighted + a_lo * b, axis=axis)
 
     def canonical_reduce(self, values: np.ndarray, *, axis: int = 0,
                          out: Optional[np.ndarray] = None,

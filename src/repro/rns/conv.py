@@ -18,7 +18,8 @@ from typing import Sequence
 
 import numpy as np
 
-from ..backend.residency import contiguous, is_buffer
+from ..backend.blas_backend import FloatOperandCache
+from ..backend.residency import DeviceBuffer, contiguous, is_buffer
 from ..numtheory.modular import mat_mod_mul, mod_inverse, moduli_column
 from ..ntt.gemm_utils import modular_matmul_rows
 from .poly import PolyDomain, RnsPolynomial
@@ -60,6 +61,13 @@ class BasisConverter:
         # operand.
         self._resident_bound = ((max(self.target_moduli) - 1)
                                 * (max(self.source_moduli) - 1))
+        # Residency handle for the GEMM constants with the float64 operand
+        # image pre-attached: float-resident inputs then hit the blas
+        # backend's fully-float row GEMM (both caches present) instead of
+        # rebuilding the lhs image per launch.
+        self._q_hat_buffer = DeviceBuffer.wrap(
+            self.q_hat_mod_target).attach_float_cache(
+                FloatOperandCache(self.q_hat_mod_target))
 
     def convert_residues(self, residues: np.ndarray) -> np.ndarray:
         """Convert a ``(len(source), N)`` residue matrix to the target basis.
@@ -79,7 +87,8 @@ class BasisConverter:
         # exact even for moduli at or above 2**31.
         y = mat_mod_mul(residues, self._q_hat_inv_column, self._source_column)
         return modular_matmul_rows(
-            self.q_hat_mod_target, y, self._target_column[:, 0],
+            self._q_hat_buffer if resident else self.q_hat_mod_target,
+            y, self._target_column[:, 0],
             operand_bound=self._resident_bound if resident else None)
 
     def convert_residues_batch(self, stacks: np.ndarray) -> np.ndarray:
@@ -116,7 +125,8 @@ class BasisConverter:
             y.reshape(batch, source_count, n).transpose(1, 0, 2)
         ).reshape(source_count, batch * n)
         converted = modular_matmul_rows(
-            self.q_hat_mod_target, y_columns, self._target_column[:, 0],
+            self._q_hat_buffer if resident else self.q_hat_mod_target,
+            y_columns, self._target_column[:, 0],
             operand_bound=self._resident_bound if resident else None)
         return contiguous(
             converted.reshape(len(self.target_moduli), batch, n).transpose(1, 0, 2)

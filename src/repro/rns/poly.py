@@ -66,9 +66,13 @@ class RnsPolynomial:
     moduli:
         The primes of this polynomial's basis (one row per prime).
     residues:
-        Int64 array of shape ``(len(moduli), ring_degree)``, or a
+        Int64 array of shape ``(len(moduli), ring_degree)``, a
         :class:`~repro.backend.residency.DeviceBuffer` handle of that
-        shape (kept resident — no host materialisation happens here).
+        shape, or a float64 residue image
+        (:class:`~repro.backend.blas_backend.FloatResidues`).  Handles and
+        float images are kept resident — no host materialisation happens
+        here, so a float-resident kernel chain can hand its output
+        straight to a polynomial without casting to int64.
     domain:
         Either :data:`PolyDomain.COEFFICIENT` or :data:`PolyDomain.EVALUATION`.
     """
@@ -77,7 +81,14 @@ class RnsPolynomial:
                  residues, domain: str = PolyDomain.COEFFICIENT) -> None:
         self.ring_degree = ring_degree
         self.moduli = tuple(int(q) for q in moduli)
-        self._buffer = DeviceBuffer.wrap(residues)
+        if (not isinstance(residues, DeviceBuffer)
+                and hasattr(residues, "full")
+                and hasattr(residues, "max_value")):
+            # A raw float64 residue image (FloatResidues duck type): wrap
+            # it float-resident so the int64 form stays lazy.
+            self._buffer = DeviceBuffer.from_float(residues)
+        else:
+            self._buffer = DeviceBuffer.wrap(residues)
         self.domain = domain
         expected = (len(self.moduli), self.ring_degree)
         if self._buffer.shape != expected:
@@ -102,6 +113,17 @@ class RnsPolynomial:
     def buffer(self) -> DeviceBuffer:
         """The residency handle backing this polynomial's residues."""
         return self._buffer
+
+    @property
+    def float_image(self):
+        """The attached float64 residue image, or None (never builds one).
+
+        A peek for residency-aware callers and tests: float-resident
+        polynomials (outputs of a fused float kernel chain) expose their
+        image here without forcing the int64 cast that :attr:`residues`
+        would perform.
+        """
+        return self._buffer.float_cache()
 
     def invalidate_resident(self) -> None:
         """Drop derived resident images after an in-place host mutation.

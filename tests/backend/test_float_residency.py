@@ -34,6 +34,16 @@ from repro.ntt.gemm_utils import modular_hadamard_limbs, modular_matmul_limbs
 from repro.numtheory import generate_ntt_primes
 from repro.numtheory.floatmod import get_barrett_chain
 from repro.numtheory.modular import mat_mod_add, mat_mod_mul, mat_mod_sub
+from repro.rns.moddown import ModDown
+from repro.rns.poly import RnsPolynomial
+
+#: Auto-skip for float-residency coverage: the tests query the structured
+#: ``capabilities()`` report instead of probing backend internals, so a
+#: build whose blas backend cannot promise float residency skips cleanly.
+requires_float_residency = pytest.mark.skipif(
+    not get_backend("blas").capabilities().get("float_residency", False),
+    reason="blas backend does not report float residency",
+)
 
 
 def _chain(bits, limbs=4, ring_degree=1024):
@@ -117,6 +127,40 @@ class TestFloatResidues:
         assert np.array_equal(first, values.astype(np.int64))
 
 
+class TestCapabilitiesReport:
+    """The structured ``capabilities()`` report and its deprecated alias."""
+
+    def test_blas_reports_float_residency(self):
+        report = get_backend("blas").capabilities()
+        assert report["name"] == "blas"
+        assert report["float_residency"] is True
+        assert report["exact_fallback"] is True
+        assert report["device_is_host"] is True
+
+    def test_numpy_reports_no_float_residency(self):
+        report = get_backend("numpy").capabilities()
+        assert report["name"] == "numpy"
+        assert report["float_residency"] is False
+        assert report["exact_fallback"] is True
+
+    @pytest.mark.parametrize("name", ["numpy", "blas"])
+    def test_deprecated_alias_matches_report(self, name):
+        # ``supports_float_residency`` stays as a read-only alias until
+        # external callers migrate; it must never drift from the report.
+        backend = get_backend(name)
+        assert backend.capabilities()["float_residency"] == bool(
+            backend.supports_float_residency)
+
+    def test_report_is_fresh_per_call(self):
+        # Callers may scribble on the returned dict (feature probing);
+        # that must not poison later queries.
+        backend = get_backend("blas")
+        scribbled = backend.capabilities()
+        scribbled["float_residency"] = False
+        assert backend.capabilities()["float_residency"] is True
+
+
+@requires_float_residency
 class TestBlasFloatNatives:
     """Float image in → float-only handle out, guarded, bit-identical."""
 
@@ -170,10 +214,16 @@ class TestBlasFloatNatives:
         assert got.host_image is not None
         assert np.array_equal(as_ndarray(got), want)
 
-    def test_guard_rejection_falls_back_bit_identical(self, rng):
-        """30-bit products break 2**53: the native must take the int path."""
+    def test_30bit_products_stay_float_via_split(self, rng):
+        """30-bit products break 2**53 single-pass — the hi/lo split holds.
+
+        Pre-split, these chains fell back to int64; the split identity
+        keeps every intermediate inside the mantissa, so the native stays
+        float-resident and bit-identical.
+        """
         chain = _chain(30)
-        assert not chain.fits((chain.qmax - 1) ** 2)
+        assert not chain.fits((chain.qmax - 1) ** 2)   # single pass unsafe
+        assert chain.fits_product()                    # split restores it
         a_int, _ = _residues(rng, chain)
         b_int, _ = _residues(rng, chain)
         want = modular_hadamard_limbs(a_int, b_int, chain.moduli_array)
@@ -181,7 +231,28 @@ class TestBlasFloatNatives:
             got = modular_hadamard_limbs(self._float_handle(a_int),
                                          self._float_handle(b_int),
                                          chain.moduli_array)
-        assert got.host_image is not None          # int64 path produced it
+        assert got.host_image is None              # float path produced it
+        assert isinstance(got.float_cache(), FloatResidues)
+        assert np.array_equal(as_ndarray(got), want)
+
+    def test_guard_rejection_falls_back_bit_identical(self, rng):
+        """>= 2**31 moduli: the funnel's exact object path must run.
+
+        The float natives never see these chains — the dispatching funnel
+        routes them to object-dtype arithmetic before backend dispatch —
+        and the result is bit-identical with a host image materialised.
+        """
+        moduli = np.asarray(generate_ntt_primes(2, 33, 64), dtype=np.int64)
+        assert int(moduli.max()) >= (1 << 31)
+        q_col = moduli[:, None]
+        a_int = rng.integers(0, q_col, size=(2, 64))
+        b_int = rng.integers(0, q_col, size=(2, 64))
+        want = modular_hadamard_limbs(a_int, b_int, moduli)
+        with use_backend("blas"):
+            got = modular_hadamard_limbs(self._float_handle(a_int),
+                                         self._float_handle(b_int),
+                                         moduli)
+        assert got.host_image is not None          # exact path produced it
         assert np.array_equal(as_ndarray(got), want)
 
     def test_chained_launches_materialise_no_int64(self, data):
@@ -242,6 +313,7 @@ class TestFloatHandleViews:
         assert np.array_equal(host, [[5, 6]])
 
 
+@requires_float_residency
 class TestFourStepFloatPipeline:
     """The fused engine pipeline: parity, residency, guard fallback."""
 
@@ -323,3 +395,194 @@ class TestFourStepFloatPipeline:
         with track_transfers(ref_counter):
             reference.forward_ops(self.N, primes, stacks)
         assert blas_counter.transfer_total() == ref_counter.transfer_total() == 0
+
+
+@requires_float_residency
+class TestMatrixNttFloatPipeline:
+    """The dense-matrix engine joins the fused float pipeline.
+
+    Same contract as the four-step pipeline: plain arrays keep the
+    historical int64 results bit-for-bit, handles come back float-resident
+    with zero transfers, and chains whose ``N * (q-1)**2`` bound crosses
+    2**53 fall back to the int64 path.
+    """
+
+    N = 256
+    LIMBS = 4
+    BATCH = 4
+
+    def _stacks(self, bits, seed=23):
+        primes = generate_ntt_primes(self.LIMBS, bits, self.N)
+        rng = np.random.default_rng(seed)
+        stacks = np.stack([
+            np.stack([rng.integers(0, q, self.N, dtype=np.int64)
+                      for q in primes])
+            for _ in range(self.BATCH)
+        ])
+        return primes, stacks
+
+    def test_forward_parity_and_roundtrip(self):
+        primes, stacks = self._stacks(20)
+        blas = NttPlanner("matrix", backend="blas")
+        reference = NttPlanner("matrix", backend="numpy")
+        got = blas.forward_ops(self.N, primes, stacks)
+        want = reference.forward_ops(self.N, primes, stacks)
+        assert isinstance(got, np.ndarray) and got.dtype == np.int64
+        assert np.array_equal(got, np.asarray(want))
+        back = blas.inverse_ops(self.N, primes, got)
+        assert np.array_equal(np.asarray(back), stacks)
+
+    def test_handle_in_float_handle_out_zero_transfers(self):
+        primes, stacks = self._stacks(20)
+        planner = NttPlanner("matrix", backend="blas")
+        want = planner.forward_ops(self.N, primes, stacks)
+        counter = KernelCounter()
+        with use_backend("blas"), track_transfers(counter):
+            got = planner.forward_ops(self.N, primes, DeviceBuffer.wrap(stacks))
+        assert isinstance(got, DeviceBuffer)
+        assert got.host_image is None
+        assert isinstance(got.float_cache(), FloatResidues)
+        assert counter.transfer_total() == 0
+        assert np.array_equal(got.ensure_host(), np.asarray(want))
+
+    def test_inverse_consumes_float_handle_stays_resident(self):
+        # Forward output feeds inverse directly: the degree-inverse fold
+        # runs in float64 and the roundtrip never materialises int64.
+        primes, stacks = self._stacks(20)
+        planner = NttPlanner("matrix", backend="blas")
+        counter = KernelCounter()
+        with use_backend("blas"), track_transfers(counter):
+            forward = planner.forward_ops(self.N, primes,
+                                          DeviceBuffer.wrap(stacks))
+            back = planner.inverse_ops(self.N, primes, forward)
+        assert back.host_image is None
+        assert counter.transfer_total() == 0
+        assert np.array_equal(back.ensure_host(), stacks)
+
+    def test_guard_rejection_takes_int64_path(self):
+        """27-bit primes break N * (q-1)**2 < 2**53 at N=256: fallback."""
+        primes, stacks = self._stacks(27)
+        chain = get_barrett_chain(primes)
+        assert not chain.fits(self.N * (chain.qmax - 1) ** 2)
+        blas = NttPlanner("matrix", backend="blas")
+        reference = NttPlanner("matrix", backend="numpy")
+        want = reference.forward_ops(self.N, primes, stacks)
+        with use_backend("blas"):
+            got = blas.forward_ops(self.N, primes, DeviceBuffer.wrap(stacks))
+        assert np.array_equal(as_ndarray(got), np.asarray(want))
+
+    def test_scratch_reuse_does_not_alias_results(self):
+        """Back-to-back launches reuse the cached ``out=`` scratch."""
+        primes, stacks = self._stacks(20)
+        planner = NttPlanner("matrix", backend="blas")
+        first = np.asarray(planner.forward_ops(self.N, primes, stacks))
+        snapshot = first.copy()
+        second = np.asarray(planner.forward_ops(self.N, primes, stacks))
+        assert not np.shares_memory(first, second)
+        assert np.array_equal(first, snapshot)
+        assert np.array_equal(first, second)
+
+
+@requires_float_residency
+class TestModDownFloatResident:
+    """ModDown (Conv + sub + mul-by-P^-1) threads float residency through.
+
+    The basis-conversion GEMM, the subtraction, and the ``P^{-1}``
+    multiply all stay on the float64 Barrett kernels, so the whole
+    ModDown of a float-carrying stack lands float-resident — including
+    30-bit chains, where the conversion GEMM takes the hi/lo split path.
+    """
+
+    BATCH = 4
+    N = 64
+
+    def _setup(self, bits, limbs=3, specials=1, seed=5):
+        """A ModDown instance plus its input as a float-ONLY handle.
+
+        Mid-chain, ModDown consumes the inner-product fold's output — a
+        float-only handle with no host image — so the test input mirrors
+        that shape exactly.
+        """
+        primes = generate_ntt_primes(limbs + specials, bits, self.N)
+        moddown = ModDown(primes[:limbs], primes[limbs:])
+        rng = np.random.default_rng(seed)
+        extended = np.asarray(primes, dtype=np.int64)[None, :, None]
+        stacks = rng.integers(0, extended,
+                              size=(self.BATCH, limbs + specials, self.N))
+        handle = DeviceBuffer.from_float(
+            FloatResidues(stacks.astype(np.float64), max(primes) - 1))
+        return moddown, stacks, handle
+
+    @pytest.mark.parametrize("bits", [20, 30])
+    def test_batch_float_resident_parity(self, bits):
+        moddown, stacks, handle = self._setup(bits)
+        want = moddown.apply_batch(stacks)
+        counter = KernelCounter()
+        with use_backend("blas"), track_transfers(counter):
+            got = moddown.apply_batch(handle)
+        assert isinstance(got, DeviceBuffer)
+        assert got.host_image is None
+        assert isinstance(got.float_cache(), FloatResidues)
+        assert counter.transfer_total() == 0
+        assert np.array_equal(got.ensure_host(), np.asarray(want))
+
+    def test_guard_boundary_falls_back_bit_identical(self):
+        """>= 2**31 moduli keep ModDown on the exact funnel paths."""
+        moddown, stacks, handle = self._setup(33)
+        want = moddown.apply_batch(stacks)
+        with use_backend("blas"):
+            got = moddown.apply_batch(handle)
+        assert np.array_equal(as_ndarray(got), np.asarray(want))
+
+
+class TestPolynomialFloatResidency:
+    """RnsPolynomial carries float handles; mutation invalidates them."""
+
+    def _primes(self):
+        return tuple(generate_ntt_primes(2, 20, 64))
+
+    def _poly(self, seed=3):
+        primes = self._primes()
+        rng = np.random.default_rng(seed)
+        ints = np.stack([rng.integers(0, q, 64, dtype=np.int64)
+                         for q in primes])
+        residues = FloatResidues(ints.astype(np.float64), max(primes) - 1)
+        return RnsPolynomial(64, primes, residues), ints
+
+    def test_constructor_accepts_float_residues(self):
+        poly, ints = self._poly()
+        assert poly.buffer.host_image is None
+        assert isinstance(poly.float_image, FloatResidues)
+        # The int64 view materialises lazily at the boundary and matches.
+        assert np.array_equal(poly.residues, ints)
+
+    def test_float_arithmetic_stays_resident(self):
+        a, ints_a = self._poly(1)
+        b, ints_b = self._poly(2)
+        column = np.asarray(self._primes(), dtype=np.int64)[:, None]
+        with use_backend("blas"):
+            total = a.add(b).hadamard(a)
+        assert total.buffer.host_image is None
+        assert isinstance(total.float_image, FloatResidues)
+        want = ((ints_a + ints_b) % column) * ints_a % column
+        assert np.array_equal(total.residues, want)
+
+    def test_mutation_invalidates_float_image(self):
+        """ISSUE 8 regression: mutating ``.residues`` drops the float image.
+
+        ``.residues`` materialises the host int64 view; an in-place write
+        there followed by ``invalidate_resident()`` must discard the stale
+        float64 image so the next float-resident launch re-derives it from
+        the mutated values instead of computing on dead data.
+        """
+        a, _ = self._poly(1)
+        b, ints_b = self._poly(2)
+        q0 = self._primes()[0]
+        assert a.float_image is not None
+        a.residues[0, 0] = 7
+        a.invalidate_resident()
+        assert a.float_image is None               # stale image dropped
+        assert a.buffer.float_cache() is None
+        with use_backend("blas"):
+            total = a.add(b)
+        assert total.residues[0, 0] == (7 + ints_b[0, 0]) % q0

@@ -141,6 +141,83 @@ class TestCanonicalParity:
         assert np.array_equal(np.moveaxis(by_axis1, 1, 0), by_axis0)
 
 
+class TestSplitProduct:
+    """Hi/lo split products: exact ``(a * b) mod q`` past the single-pass cap.
+
+    The split identity ``(a*b) mod q = (a_hi * [(2**s * b) mod q] + a_lo * b)
+    mod q`` bounds every intermediate by roughly ``q**1.5``, extending the
+    float-exact product range from ~26-bit to ~36-bit moduli — covering the
+    30-bit production chains that previously fell back to int64.
+    """
+
+    def test_split_shift_is_half_the_residue_width(self):
+        chain = chain_for(30)
+        width = (chain.qmax - 1).bit_length()
+        assert chain.split_shift == (width + 1) // 2
+
+    def test_fits_product_boundaries(self):
+        # 20-bit: the single float64 pass already fits.
+        twenty = chain_for(20)
+        assert twenty.fits((twenty.qmax - 1) ** 2)
+        assert twenty.fits_product()
+        # 30-bit: single pass overflows 2**53; the split restores exactness.
+        thirty = chain_for(30)
+        assert not thirty.fits((thirty.qmax - 1) ** 2)
+        assert thirty.fits_product()
+        # ~q**1.5 crosses the mantissa around 37-bit moduli: split rejected.
+        oversized = get_barrett_chain([(1 << 37) + 9])
+        assert not oversized.fits_product()
+
+    @pytest.mark.parametrize("bits", [20, 27, 30])
+    def test_product_parity_randomized(self, bits, rng):
+        # 20-bit exercises the single-pass branch, 27/30 the split branch.
+        chain = chain_for(bits)
+        q_col = chain.moduli_array[:, None]
+        a = rng.integers(0, q_col, size=(chain.limb_count, 512))
+        b = rng.integers(0, q_col, size=(chain.limb_count, 512))
+        got = chain.product_reduce(a.astype(np.float64), b.astype(np.float64))
+        assert np.array_equal(got.astype(np.int64), (a * b) % q_col)
+
+    @pytest.mark.parametrize("bits", [27, 30])
+    def test_product_worst_case_operand_classes(self, bits):
+        # (q-1)**2 is the largest split-path product; the multiples-of-q
+        # shapes stress the round-up reciprocal through both canonical
+        # passes of the recombination.
+        chain = chain_for(bits)
+        a = np.asarray([[0, 1, q - 1, q - 1, q // 2, q - 2, 1]
+                        for q in chain.moduli], dtype=np.int64)
+        b = np.asarray([[q - 1, q - 1, q - 1, 1, 2, q - 2, 0]
+                        for q in chain.moduli], dtype=np.int64)
+        got = chain.product_reduce(a.astype(np.float64), b.astype(np.float64))
+        assert np.array_equal(got.astype(np.int64),
+                              (a * b) % chain.moduli_array[:, None])
+
+    def test_product_parity_at_33_bits(self, rng):
+        # Past int64-funnel territory (a single residue product overflows
+        # int64) but still inside the split guard: the identity stays
+        # exact, pinned against an object-arithmetic reference.
+        chain = get_barrett_chain(generate_ntt_primes(2, 33, 64))
+        assert not chain.fits((chain.qmax - 1) ** 2)
+        assert chain.fits_product()
+        q_col = chain.moduli_array[:, None]
+        a = rng.integers(0, q_col, size=(2, 128))
+        b = rng.integers(0, q_col, size=(2, 128))
+        want = np.asarray((a.astype(object) * b.astype(object)) % q_col,
+                          dtype=np.int64)
+        got = chain.product_reduce(a.astype(np.float64), b.astype(np.float64))
+        assert np.array_equal(got.astype(np.int64), want)
+
+    def test_product_limb_axis_one(self, rng):
+        # The batched funnels reduce (B, L, N) stacks along axis=1.
+        chain = chain_for(30, limbs=4)
+        q_col = chain.moduli_array[None, :, None]
+        a = rng.integers(0, q_col, size=(3, 4, 32))
+        b = rng.integers(0, q_col, size=(3, 4, 32))
+        got = chain.product_reduce(a.astype(np.float64),
+                                   b.astype(np.float64), axis=1)
+        assert np.array_equal(got.astype(np.int64), (a * b) % q_col)
+
+
 class TestGuard:
     def test_fits_is_the_exact_boundary(self):
         chain = chain_for(27)
