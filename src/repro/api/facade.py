@@ -18,6 +18,7 @@ from ..backend.base import ArrayBackend
 from ..backend.registry import resolve_backend
 from ..batching.scheduler import BatchPlan, BatchScheduler
 from ..ckks.batched_evaluator import BatchedEvaluator
+from ..ckks.bootstrap import BootstrapConfig, Bootstrapper
 from ..ckks.ciphertext import Ciphertext, Plaintext
 from ..ckks.context import CkksContext
 from ..ckks.decryptor import Decryptor
@@ -38,7 +39,8 @@ class TensorFheContext:
 
     def __init__(self, parameters: CkksParameters, *, seed: Optional[int] = None,
                  rotation_steps: Iterable[int] = (), gpu: GpuSpec = A100,
-                 backend: Union[None, str, "ArrayBackend"] = None) -> None:
+                 backend: Union[None, str, "ArrayBackend"] = None,
+                 bootstrap_config: Optional[BootstrapConfig] = None) -> None:
         self.context = CkksContext(parameters, seed=seed, backend=backend)
         self.gpu = gpu
         self._keygen = KeyGenerator(self.context)
@@ -53,6 +55,8 @@ class TensorFheContext:
         self.batch_scheduler = BatchScheduler(gpu)
         self.batched_evaluator = BatchedEvaluator(self.context,
                                                   evaluator=self.evaluator)
+        self.bootstrap_config = bootstrap_config
+        self._bootstrapper: Optional[Bootstrapper] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -89,6 +93,19 @@ class TensorFheContext:
         pin, this property reports exactly that backend.
         """
         return resolve_backend(self.context.planner.backend).name
+
+    @property
+    def bootstrapper(self) -> Bootstrapper:
+        """The lazily built :class:`~repro.ckks.bootstrap.Bootstrapper`.
+
+        Constructed on first use from ``bootstrap_config`` (or the
+        defaults) so contexts that never bootstrap pay nothing for the
+        DFT matrices.
+        """
+        if self._bootstrapper is None:
+            self._bootstrapper = Bootstrapper(self.context,
+                                              self.bootstrap_config)
+        return self._bootstrapper
 
     def ensure_rotation_keys(self, steps: Iterable[int]) -> None:
         """Generate any missing rotation keys for ``steps``."""
@@ -154,6 +171,14 @@ class TensorFheContext:
         count = self.slot_count if count is None else count
         self.ensure_rotation_keys([1 << i for i in range(count.bit_length() - 1)])
         return self.evaluator.rotate_and_sum(ciphertext, self.rotation_keys, count)
+
+    def bootstrap(self, ciphertext: Ciphertext) -> Ciphertext:
+        """Refresh one exhausted (level-0) ciphertext to a high level."""
+        bootstrapper = self.bootstrapper
+        self.ensure_rotation_keys(bootstrapper.required_rotation_steps())
+        return bootstrapper.bootstrap(ciphertext, self.evaluator,
+                                      self.encryptor, self.relinearization_key,
+                                      self.rotation_keys)
 
     # ------------------------------------------------------------------
     # Batched FHE operations (independent streams, fused launches)
@@ -249,6 +274,32 @@ class TensorFheContext:
         for start, stop in self._batch_bounds(ciphertexts):
             results.extend(self.batched_evaluator.conjugate(
                 ciphertexts[start:stop], self.rotation_keys))
+        return results
+
+    def bootstrap_many(self, ciphertexts: Sequence[Ciphertext]) -> list:
+        """Batched bootstrap: the whole pipeline as fused ``B``-axis launches.
+
+        ModRaise, the CoeffToSlot / SlotToCoeff BSGS transforms and the
+        EvalMod sine ladder all run through the
+        :class:`~repro.ckks.batched_evaluator.BatchedEvaluator`, so every
+        HMULT / CMULT / HADD / HROTATE in the pipeline is one fused
+        ``(B, ...)`` launch instead of ``B`` scalar ones.  Bit-identical to
+        looping :meth:`bootstrap`.
+        """
+        ciphertexts = list(ciphertexts)
+        if not ciphertexts:
+            return []
+        bootstrapper = self.bootstrapper
+        self.ensure_rotation_keys(bootstrapper.required_rotation_steps())
+        # Plan the batch size at the raised level — that is where the
+        # pipeline's working set lives, not at the exhausted input level.
+        raised_level = bootstrapper.mod_raise.target_level
+        size = max(1, self.plan_batch(level=raised_level).batch_size)
+        results = []
+        for start in range(0, len(ciphertexts), size):
+            results.extend(bootstrapper.bootstrap_many(
+                ciphertexts[start:start + size], self.batched_evaluator,
+                self.encryptor, self.relinearization_key, self.rotation_keys))
         return results
 
     def _run_batched(self, operation, lhs_streams, rhs_streams) -> list:

@@ -123,6 +123,49 @@ class BatchedEvaluator:
                 )
         return results
 
+    def negate(self, ciphertexts: Sequence[Ciphertext]) -> List[Ciphertext]:
+        """Negate every stream.
+
+        Negation is a pure host-side modular map with no kernel launches
+        (the sequential path records nothing either), so there is nothing
+        to fuse; the per-stream map keeps the counters and bits identical
+        by construction.
+        """
+        return [self.evaluator.negate(ciphertext) for ciphertext in ciphertexts]
+
+    def add_plain(self, ciphertexts: Sequence[Ciphertext],
+                  plaintexts: Sequence[Plaintext]) -> List[Ciphertext]:
+        """Batched plaintext addition: one fused Ele-Add over the c0 stack."""
+        streams = list(self._zipped(ciphertexts, plaintexts))
+        results: List[Optional[Ciphertext]] = [None] * len(streams)
+        fusable: List[Tuple[int, Ciphertext, Plaintext, RnsPolynomial]] = []
+        for i, (ciphertext, plaintext) in enumerate(streams):
+            self.evaluator._check_scales(ciphertext.scale, plaintext.scale)
+            plain_poly = self.evaluator._plain_at_level(plaintext,
+                                                        ciphertext.level)
+            if ciphertext.c0.domain == plain_poly.domain:
+                fusable.append((i, ciphertext, plaintext, plain_poly))
+            else:
+                results[i] = self.evaluator.add_plain(ciphertext, plaintext)
+
+        for moduli, indices in self._grouped(
+                entry[1].moduli for entry in fusable).items():
+            entries = [fusable[k] for k in indices]
+            batch, limbs = len(entries), len(moduli)
+            tiled = self._tiled_moduli(moduli, batch)
+            left = self._stack([entry[1].c0 for entry in entries])
+            right = self._stack([entry[3] for entry in entries])
+            fused = mat_mod_add(self._fuse(left), self._fuse(right), tiled)
+            self._record(KernelName.ELE_ADD, batch, limbs)
+            sums = fused.reshape(left.shape)
+            for j, (i, ciphertext, _, _) in enumerate(entries):
+                results[i] = Ciphertext(
+                    c0=self._poly(moduli, sums[j], ciphertext.c0.domain),
+                    c1=ciphertext.c1.copy(),
+                    scale=ciphertext.scale, level=ciphertext.level,
+                )
+        return results
+
     # ------------------------------------------------------------------
     # CMULT: B plaintext multiplications, one NTT/Hadamard/INTT step each
     # ------------------------------------------------------------------

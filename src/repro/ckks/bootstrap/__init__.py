@@ -9,7 +9,12 @@ from .bsgs import (
 )
 from .dft import CoeffToSlot, SlotToCoeff, embedding_matrix
 from .mod_raise import ModRaise
-from .sine_eval import SineEvaluator, evaluate_polynomial, taylor_sine_coefficients
+from .sine_eval import (
+    SineEvaluator,
+    evaluate_polynomial,
+    taylor_cosine_coefficients,
+    taylor_sine_coefficients,
+)
 
 __all__ = [
     "Bootstrapper",
@@ -24,5 +29,6 @@ __all__ = [
     "required_rotations",
     "SineEvaluator",
     "taylor_sine_coefficients",
+    "taylor_cosine_coefficients",
     "evaluate_polynomial",
 ]

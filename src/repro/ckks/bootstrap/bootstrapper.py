@@ -7,26 +7,34 @@ Stages, in the order of the classic (non-slim) pipeline:
 2. **CoeffToSlot** — homomorphic DFT moving coefficients into slots
    (BSGS linear transforms + conjugation);
 3. **EvalMod / Sine evaluation** — remove ``q0 * I`` by evaluating
-   ``(q0 / 2*pi) * sin(2*pi*t / q0)`` with a Taylor polynomial of
-   ``exp(i * theta / 2^r)`` followed by ``r`` repeated squarings
-   (the double-angle ladder) and an imaginary-part extraction;
+   ``(q0 / 2*pi) * sin(2*pi*t / q0)``: Taylor series of sine *and*
+   cosine at the reduced argument ``theta / 2^r`` over one shared power
+   ladder, then ``r`` exact double-angle iterations
+   ``(s, c) -> (2*s*c, 1 - 2*s^2)``;
 4. **SlotToCoeff** — homomorphic DFT back to coefficients.
 
 The result is a ciphertext of the same message at a higher level.  The
 functional accuracy of the composed pipeline at toy parameters is limited
 by the small prime sizes this pure-Python reproduction uses (the paper
-runs with 60-bit-scale moduli); every stage is therefore also tested
-individually against its plaintext reference.
+runs with 60-bit-scale moduli); the dominant residual is the intrinsic
+sine-vs-identity error ``~(2*pi*m/q0)^2 * m / 6``, so messages must stay
+small relative to ``q0 / Delta``.
+
+:meth:`Bootstrapper.bootstrap_many` runs the whole pipeline for ``B``
+ciphertexts as fused ``(B, L, N)`` / ``(B, dnum, L, N)`` launches through
+a :class:`~repro.ckks.batched_evaluator.BatchedEvaluator` — bit-identical
+to looping :meth:`Bootstrapper.bootstrap`, with identical kernel counters.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..batched_evaluator import BatchedEvaluator
 from ..ciphertext import Ciphertext
 from ..context import CkksContext
 from ..encryptor import Encryptor
@@ -34,7 +42,11 @@ from ..evaluator import Evaluator
 from ..keys import RotationKeySet, SwitchKey
 from .dft import CoeffToSlot, SlotToCoeff
 from .mod_raise import ModRaise
-from .sine_eval import SineEvaluator, taylor_sine_coefficients
+from .sine_eval import (
+    SineEvaluator,
+    taylor_cosine_coefficients,
+    taylor_sine_coefficients,
+)
 
 __all__ = ["BootstrapConfig", "Bootstrapper"]
 
@@ -49,15 +61,21 @@ class BootstrapConfig:
 
     @property
     def eval_mod_depth(self) -> int:
-        """Approximate number of levels consumed by the EvalMod stage."""
-        return self.double_angle_iterations + max(
-            1, math.ceil(math.log2(max(2, self.taylor_degree)))) + 1
+        """Levels consumed by the EvalMod stage.
+
+        The shared sine/cosine ladder costs ``ceil(log2(degree)) + 1``
+        levels, each double-angle iteration one, and the final
+        ``q0 / (2*pi*Delta)`` factor one more.
+        """
+        sine_depth = max(1, math.ceil(math.log2(max(2, self.taylor_degree)))) + 1
+        return sine_depth + self.double_angle_iterations + 1
 
 
 class Bootstrapper:
     """Composes ModRaise, CoeffToSlot, EvalMod and SlotToCoeff."""
 
-    def __init__(self, context: CkksContext, config: BootstrapConfig = None) -> None:
+    def __init__(self, context: CkksContext,
+                 config: Optional[BootstrapConfig] = None) -> None:
         self.context = context
         self.config = config or BootstrapConfig()
         self.mod_raise = ModRaise(context, self.config.target_level)
@@ -86,43 +104,112 @@ class Bootstrapper:
         return self.slot_to_coeff.apply(reduced_low, reduced_high,
                                         evaluator, encryptor, rotation_keys)
 
+    def bootstrap_many(self, ciphertexts: Sequence[Ciphertext],
+                       batched_evaluator: BatchedEvaluator,
+                       encryptor: Encryptor, relinearization_key: SwitchKey,
+                       rotation_keys: RotationKeySet) -> List[Ciphertext]:
+        """Bootstrap ``B`` ciphertexts as fused batched launches.
+
+        Every stage runs the exact per-stream operation sequence of
+        :meth:`bootstrap` through the batched evaluator, so results are
+        bit-identical to the sequential loop and the kernel counters
+        record the same invocations.  A single stream delegates to the
+        sequential pipeline (no stacked temporaries), an empty batch
+        returns immediately.
+        """
+        ciphertexts = list(ciphertexts)
+        if not ciphertexts:
+            return []
+        if len(ciphertexts) == 1:
+            return [self.bootstrap(ciphertexts[0], batched_evaluator.evaluator,
+                                   encryptor, relinearization_key,
+                                   rotation_keys)]
+        raised = self.mod_raise.apply_many(ciphertexts)
+        slot_lows, slot_highs = self.coeff_to_slot.apply_many(
+            raised, batched_evaluator, encryptor, rotation_keys)
+        reduced_lows = self._eval_mod_many(
+            slot_lows, batched_evaluator, encryptor, relinearization_key)
+        reduced_highs = self._eval_mod_many(
+            slot_highs, batched_evaluator, encryptor, relinearization_key)
+        return self.slot_to_coeff.apply_many(
+            reduced_lows, reduced_highs, batched_evaluator, encryptor,
+            rotation_keys)
+
     # ------------------------------------------------------------------
-    def _eval_mod(self, ciphertext: Ciphertext, evaluator: Evaluator,
-                  encryptor: Encryptor, relinearization_key: SwitchKey,
-                  rotation_keys: RotationKeySet) -> Ciphertext:
-        """Approximate ``t mod q0`` on every slot via the sine evaluation."""
+    def _sine_evaluator(self) -> SineEvaluator:
+        """The sine/cosine pair evaluator at the reduced ladder argument."""
         base_prime = self.context.basis.ciphertext_primes[0]
         config = self.config
         ladder = 1 << config.double_angle_iterations
         # The slots currently hold t / Delta; the sine argument must be
         # 2*pi*t/(q0 * 2^r), so the scale factor below folds Delta back in.
-        scale_factor = 2.0 * math.pi * self.context.scale / (base_prime * ladder)
-        coefficients = taylor_sine_coefficients(config.taylor_degree, scale_factor)
-        sine = SineEvaluator(self.context, coefficients)
-        # sin(x) for the small argument; cos via 1 - 2*sin^2(x/2) would need a
-        # second series, so we use the sine double-angle on sin/cos pairs
-        # reconstructed from sin alone: sin(2a) = 2*sin(a)*cos(a) with
-        # cos(a) ~= 1 - sin(a)^2/2 for the small ladder arguments.
-        current = sine.apply(ciphertext, evaluator, encryptor, relinearization_key)
-        for _ in range(config.double_angle_iterations):
-            squared = evaluator.multiply_and_rescale(current, current, relinearization_key)
-            half = encryptor.encode(
-                np.full(self.context.slot_count, 0.5), scale=squared.scale,
-                level=squared.level,
+        scale_factor = (2.0 * math.pi * self.context.scale
+                        / (base_prime * ladder))
+        return SineEvaluator(
+            self.context,
+            taylor_sine_coefficients(config.taylor_degree, scale_factor),
+            cosine_coefficients=taylor_cosine_coefficients(
+                config.taylor_degree, scale_factor),
+        )
+
+    def _eval_mod(self, ciphertext: Ciphertext, evaluator: Evaluator,
+                  encryptor: Encryptor, relinearization_key: SwitchKey,
+                  rotation_keys: RotationKeySet) -> Ciphertext:
+        """Approximate ``t mod q0`` on every slot via the sine evaluation."""
+        base_prime = self.context.basis.ciphertext_primes[0]
+        sine = self._sine_evaluator()
+        # Both series at the reduced argument a = 2*pi*t/(q0*2^r), then r
+        # exact double-angle iterations: s' = 2*s*c, c' = 1 - 2*s^2.  Each
+        # iteration costs one level (the two HMULTs run side by side); the
+        # doublings are plain HADDs of a ciphertext with itself.
+        sin_ct, cos_ct = sine.apply_pair(ciphertext, evaluator, encryptor,
+                                         relinearization_key)
+        for _ in range(self.config.double_angle_iterations):
+            product = evaluator.multiply_and_rescale(sin_ct, cos_ct,
+                                                     relinearization_key)
+            squared = evaluator.multiply_and_rescale(sin_ct, sin_ct,
+                                                     relinearization_key)
+            sin_ct = evaluator.add(product, product)
+            doubled = evaluator.add(squared, squared)
+            cos_ct = evaluator.negate(doubled)
+            one = encryptor.encode(
+                np.full(self.context.slot_count, 1.0), scale=cos_ct.scale,
+                level=cos_ct.level,
             )
-            correction = evaluator.rescale(evaluator.multiply_plain(squared, half))
-            doubled = evaluator.add(current, evaluator.drop_to_level(current, current.level))
-            doubled = evaluator.drop_to_level(doubled, correction.level)
-            doubled = Ciphertext(doubled.c0, doubled.c1, correction.scale, correction.level)
-            current = evaluator.subtract(doubled, correction)
+            cos_ct = evaluator.add_plain(cos_ct, one)
         # Rescale the sine value back into message units: t mod q0 ~=
         # (q0 / 2*pi) * sin(2*pi*t/q0); the slots should end up holding m/Delta.
         final_factor = base_prime / (2.0 * math.pi * self.context.scale)
         plain = encryptor.encode(
-            np.full(self.context.slot_count, final_factor), scale=current.scale,
-            level=current.level,
+            np.full(self.context.slot_count, final_factor), scale=sin_ct.scale,
+            level=sin_ct.level,
         )
-        return evaluator.rescale(evaluator.multiply_plain(current, plain))
+        return evaluator.rescale(evaluator.multiply_plain(sin_ct, plain))
+
+    def _eval_mod_many(self, ciphertexts: Sequence[Ciphertext],
+                       batched_evaluator: BatchedEvaluator,
+                       encryptor: Encryptor,
+                       relinearization_key: SwitchKey) -> List[Ciphertext]:
+        """Batched :meth:`_eval_mod`: fused sine ladder and double angles."""
+        base_prime = self.context.basis.ciphertext_primes[0]
+        sine = self._sine_evaluator()
+        sin_cts, cos_cts = sine.apply_pair_many(
+            ciphertexts, batched_evaluator, encryptor, relinearization_key)
+        for _ in range(self.config.double_angle_iterations):
+            products = batched_evaluator.multiply_and_rescale(
+                sin_cts, cos_cts, relinearization_key)
+            squares = batched_evaluator.multiply_and_rescale(
+                sin_cts, sin_cts, relinearization_key)
+            sin_cts = batched_evaluator.add(products, products)
+            doubled = batched_evaluator.add(squares, squares)
+            cos_cts = batched_evaluator.negate(doubled)
+            ones = sine._encoded_constant_per_level(1.0, cos_cts, encryptor)
+            cos_cts = batched_evaluator.add_plain(cos_cts, ones)
+        final_factor = base_prime / (2.0 * math.pi * self.context.scale)
+        plains = sine._encoded_constant_per_level(final_factor, sin_cts,
+                                                  encryptor)
+        return batched_evaluator.rescale(
+            batched_evaluator.multiply_plain(sin_cts, plains))
 
     # ------------------------------------------------------------------
     def reference_mod(self, values: np.ndarray) -> np.ndarray:

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..ciphertext import Ciphertext
+from ..ciphertext import Ciphertext, Plaintext
 from ..context import CkksContext
 from ..encryptor import Encryptor
 from ..evaluator import Evaluator
@@ -124,6 +124,74 @@ class BsgsLinearTransform:
         if accumulator is None:
             raise ValueError("the transform matrix is identically zero")
         return evaluator.rescale(accumulator)
+
+    def apply_many(self, ciphertexts: Sequence[Ciphertext],
+                   batched_evaluator, encryptor: Encryptor,
+                   rotation_keys: RotationKeySet) -> List[Ciphertext]:
+        """Evaluate the transform on ``B`` streams as fused launches.
+
+        The baby-step rotations run through
+        :meth:`~repro.ckks.batched_evaluator.BatchedEvaluator.rotate`
+        (one automorphism gather plus one B-fused key switch per step),
+        every giant-step group's diagonal multiplies are single fused
+        CMULT launches, and the giant rotations fuse the same way.  Each
+        shifted diagonal is encoded once per (scale, level) — not once
+        per ciphertext — which is bit-identical to the sequential path
+        because encoding is deterministic.  A single stream delegates to
+        :meth:`apply`; results and kernel counters match the sequential
+        loop exactly.
+        """
+        ciphertexts = list(ciphertexts)
+        if not ciphertexts:
+            return []
+        if len(ciphertexts) == 1:
+            return [self.apply(ciphertexts[0], batched_evaluator.evaluator,
+                               encryptor, rotation_keys)]
+        slot_count = self.context.slot_count
+        by_giant: Dict[int, Dict[int, np.ndarray]] = {}
+        for offset, diagonal in self.diagonals.items():
+            baby = offset % self.n1
+            giant = offset - baby
+            by_giant.setdefault(giant, {})[baby] = diagonal
+
+        baby_cache: Dict[int, List[Ciphertext]] = {0: ciphertexts}
+        accumulator = None
+        for giant in sorted(by_giant):
+            inner = None
+            for baby, diagonal in sorted(by_giant[giant].items()):
+                rotated = baby_cache.get(baby)
+                if rotated is None:
+                    rotated = batched_evaluator.rotate(ciphertexts, baby,
+                                                       rotation_keys)
+                    baby_cache[baby] = rotated
+                shifted = np.roll(diagonal, giant % slot_count)
+                plains = self._encode_per_level(shifted, rotated, encryptor)
+                terms = batched_evaluator.multiply_plain(rotated, plains)
+                inner = terms if inner is None else batched_evaluator.add(
+                    inner, terms)
+            if giant % slot_count:
+                inner = batched_evaluator.rotate(inner, giant % slot_count,
+                                                 rotation_keys)
+            accumulator = inner if accumulator is None else \
+                batched_evaluator.add(accumulator, inner)
+        if accumulator is None:
+            raise ValueError("the transform matrix is identically zero")
+        return batched_evaluator.rescale(accumulator)
+
+    def _encode_per_level(self, shifted: np.ndarray,
+                          ciphertexts: Sequence[Ciphertext],
+                          encryptor: Encryptor) -> List[Plaintext]:
+        """One deterministic encode per distinct stream level."""
+        cache: Dict[int, object] = {}
+        plains = []
+        for ciphertext in ciphertexts:
+            plain = cache.get(ciphertext.level)
+            if plain is None:
+                plain = encryptor.encode(shifted, scale=self.scale,
+                                         level=ciphertext.level)
+                cache[ciphertext.level] = plain
+            plains.append(plain)
+        return plains
 
     def reference(self, values: Sequence[complex]) -> np.ndarray:
         """Plaintext evaluation of the same transform (test oracle)."""

@@ -17,7 +17,7 @@ for its Bootstrap workflow (Figure 6).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -63,6 +63,17 @@ class SlotToCoeff:
         part1 = self.transform1.apply(coeff_high, evaluator, encryptor, rotation_keys)
         return evaluator.add(part0, part1)
 
+    def apply_many(self, coeff_lows: Sequence[Ciphertext],
+                   coeff_highs: Sequence[Ciphertext], batched_evaluator,
+                   encryptor: Encryptor,
+                   rotation_keys: RotationKeySet) -> List[Ciphertext]:
+        """Batched :meth:`apply`: two fused BSGS transforms and one HADD."""
+        part0 = self.transform0.apply_many(coeff_lows, batched_evaluator,
+                                           encryptor, rotation_keys)
+        part1 = self.transform1.apply_many(coeff_highs, batched_evaluator,
+                                           encryptor, rotation_keys)
+        return batched_evaluator.add(part0, part1)
+
     def reference(self, t0: np.ndarray, t1: np.ndarray) -> np.ndarray:
         return self.transform0.reference(t0) + self.transform1.reference(t1)
 
@@ -102,6 +113,25 @@ class CoeffToSlot:
             self.transform1_conj.apply(conjugated, evaluator, encryptor, rotation_keys),
         )
         return low, high
+
+    def apply_many(self, ciphertexts: Sequence[Ciphertext], batched_evaluator,
+                   encryptor: Encryptor, rotation_keys: RotationKeySet
+                   ) -> Tuple[List[Ciphertext], List[Ciphertext]]:
+        """Batched :meth:`apply`: one fused HCONJ, four fused BSGS stages."""
+        conjugated = batched_evaluator.conjugate(ciphertexts, rotation_keys)
+        lows = batched_evaluator.add(
+            self.transform0_direct.apply_many(ciphertexts, batched_evaluator,
+                                              encryptor, rotation_keys),
+            self.transform0_conj.apply_many(conjugated, batched_evaluator,
+                                            encryptor, rotation_keys),
+        )
+        highs = batched_evaluator.add(
+            self.transform1_direct.apply_many(ciphertexts, batched_evaluator,
+                                              encryptor, rotation_keys),
+            self.transform1_conj.apply_many(conjugated, batched_evaluator,
+                                            encryptor, rotation_keys),
+        )
+        return lows, highs
 
     def reference(self, slots: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         slots = np.asarray(slots, dtype=np.complex128)

@@ -13,7 +13,7 @@ the later EvalMod/sine stage; ModRaise itself is a pure basis extension.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -44,6 +44,48 @@ class ModRaise:
             scale=ciphertext.scale,
             level=self.target_level,
         )
+
+    def apply_many(self, ciphertexts: Sequence[Ciphertext]) -> List[Ciphertext]:
+        """Raise ``B`` ciphertexts as one broadcast over the (B, L, N) stack.
+
+        The centring and re-reduction are element-wise, so the batched
+        broadcast is bit-identical to looping :meth:`apply`; a single
+        stream delegates to the sequential path (no stacked temporaries).
+        """
+        ciphertexts = list(ciphertexts)
+        if not ciphertexts:
+            return []
+        if len(ciphertexts) == 1:
+            return [self.apply(ciphertexts[0])]
+        for ciphertext in ciphertexts:
+            if ciphertext.level != 0:
+                raise ValueError(
+                    "ModRaise expects level-0 (exhausted) ciphertexts")
+            if ciphertext.c0.domain != PolyDomain.COEFFICIENT:
+                raise ValueError(
+                    "ModRaise expects coefficient-domain ciphertexts")
+        target_moduli = self.context.moduli_at_level(self.target_level)
+        column = moduli_column(target_moduli)
+        raised_components = []
+        for component in ("c0", "c1"):
+            polys = [getattr(ct, component) for ct in ciphertexts]
+            base_prime = polys[0].moduli[0]
+            stacked = np.stack([poly.residues[0] for poly in polys])  # (B, N)
+            centered = np.where(stacked > base_prime // 2,
+                                stacked - base_prime, stacked)
+            raised = centered[:, None, :] % column                    # (B, L, N)
+            raised_components.append(raised)
+        return [
+            Ciphertext(
+                c0=RnsPolynomial(ct.c0.ring_degree, target_moduli,
+                                 raised_components[0][j], PolyDomain.COEFFICIENT),
+                c1=RnsPolynomial(ct.c1.ring_degree, target_moduli,
+                                 raised_components[1][j], PolyDomain.COEFFICIENT),
+                scale=ct.scale,
+                level=self.target_level,
+            )
+            for j, ct in enumerate(ciphertexts)
+        ]
 
     def _raise_poly(self, polynomial: RnsPolynomial) -> RnsPolynomial:
         base_prime = polynomial.moduli[0]

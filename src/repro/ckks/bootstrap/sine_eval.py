@@ -1,4 +1,4 @@
-"""Homomorphic sine evaluation (the EvalMod stage of bootstrapping).
+"""Homomorphic sine/cosine evaluation (the EvalMod stage of bootstrapping).
 
 After ModRaise the plaintext is ``m + q0 * I`` with a small integer
 polynomial ``I``.  Reducing modulo ``q0`` is approximated by
@@ -6,25 +6,42 @@ polynomial ``I``.  Reducing modulo ``q0`` is approximated by
     q0/(2*pi) * sin(2*pi * t / q0)  ≈  t mod q0     (for |m| << q0)
 
 The sine is evaluated with a truncated Taylor series (the paper cites the
-variable-precision Taylor approximation [8]); the polynomial is evaluated
-homomorphically with a depth-optimal square-and-multiply scheme built on
-HMULT/CMULT/HADD.
+variable-precision Taylor approximation [8]) at the reduced argument
+``theta / 2^r``; the double-angle ladder then squares its way back up.
+Because the exact double angle is ``sin(2a) = 2*sin(a)*cos(a)``, the
+ladder needs *both* series — :class:`SineEvaluator` therefore evaluates
+the sine and cosine polynomials over one shared square-and-multiply power
+ladder (:meth:`SineEvaluator.apply_pair`), so the cosine costs only the
+extra even-power terms, not a second ladder.
+
+Every sequential entry point has a ``*_many`` sibling that runs the same
+operation sequence through a
+:class:`~repro.ckks.batched_evaluator.BatchedEvaluator`, fusing the
+HMULT/CMULT/HADD streams of ``B`` independent ciphertexts into single
+``(B, L, N)`` launches — bit-identical to the per-stream loop, with the
+Taylor coefficients encoded once per level instead of once per stream.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..ciphertext import Ciphertext
+from ..batched_evaluator import BatchedEvaluator
+from ..ciphertext import Ciphertext, Plaintext
 from ..context import CkksContext
 from ..encryptor import Encryptor
 from ..evaluator import Evaluator
 from ..keys import SwitchKey
 
-__all__ = ["taylor_sine_coefficients", "evaluate_polynomial", "SineEvaluator"]
+__all__ = [
+    "taylor_sine_coefficients",
+    "taylor_cosine_coefficients",
+    "evaluate_polynomial",
+    "SineEvaluator",
+]
 
 
 def taylor_sine_coefficients(degree: int, scale_factor: float) -> List[float]:
@@ -39,6 +56,19 @@ def taylor_sine_coefficients(degree: int, scale_factor: float) -> List[float]:
     return coefficients
 
 
+def taylor_cosine_coefficients(degree: int, scale_factor: float) -> List[float]:
+    """Coefficients of ``cos(scale_factor * x)`` as a Taylor series in ``x``.
+
+    Only even powers are non-zero (entry 0 is the constant 1); the list
+    shares its power ladder with the sine series of the same degree.
+    """
+    coefficients = [0.0] * (degree + 1)
+    coefficients[0] = 1.0
+    for k in range(2, degree + 1, 2):
+        coefficients[k] = ((-1) ** (k // 2)) * (scale_factor ** k) / math.factorial(k)
+    return coefficients
+
+
 def evaluate_polynomial(coefficients: Sequence[float], values: np.ndarray) -> np.ndarray:
     """Plaintext Horner evaluation (test oracle for the homomorphic path)."""
     result = np.zeros_like(np.asarray(values, dtype=np.float64))
@@ -48,13 +78,16 @@ def evaluate_polynomial(coefficients: Sequence[float], values: np.ndarray) -> np
 
 
 class SineEvaluator:
-    """Evaluates a fixed-degree polynomial of a ciphertext homomorphically."""
+    """Evaluates fixed-degree polynomials of a ciphertext homomorphically."""
 
-    def __init__(self, context: CkksContext, coefficients: Sequence[float]) -> None:
+    def __init__(self, context: CkksContext, coefficients: Sequence[float], *,
+                 cosine_coefficients: Optional[Sequence[float]] = None) -> None:
         self.context = context
         self.coefficients = list(coefficients)
         if not self.coefficients:
             raise ValueError("polynomial must have at least one coefficient")
+        self.cosine_coefficients = (list(cosine_coefficients)
+                                    if cosine_coefficients is not None else None)
 
     @property
     def degree(self) -> int:
@@ -65,28 +98,104 @@ class SineEvaluator:
         """Levels consumed: one per power-doubling plus one for the sum."""
         return max(1, math.ceil(math.log2(max(2, self.degree)))) + 1
 
+    # ------------------------------------------------------------------
+    # Sequential evaluation
+    # ------------------------------------------------------------------
     def apply(self, ciphertext: Ciphertext, evaluator: Evaluator,
               encryptor: Encryptor, relinearization_key: SwitchKey) -> Ciphertext:
         """Homomorphically evaluate ``p(ct)`` using cached power ciphertexts."""
-        powers = {1: ciphertext}
-        # Build the needed powers with a square-and-multiply ladder.
-        needed = [k for k, c in enumerate(self.coefficients) if k >= 1 and c != 0.0]
+        needed = self._needed_terms(self.coefficients)
+        powers = self._build_powers(ciphertext, needed, evaluator,
+                                    relinearization_key)
+        return self._accumulate(self.coefficients, needed, powers,
+                                evaluator, encryptor)
+
+    def apply_pair(self, ciphertext: Ciphertext, evaluator: Evaluator,
+                   encryptor: Encryptor, relinearization_key: SwitchKey):
+        """Evaluate the sine and cosine series over one shared power ladder.
+
+        Returns ``(sin_ct, cos_ct)``; requires ``cosine_coefficients``.
+        """
+        if self.cosine_coefficients is None:
+            raise ValueError("apply_pair needs cosine_coefficients")
+        needed_sin = self._needed_terms(self.coefficients)
+        needed_cos = self._needed_terms(self.cosine_coefficients)
+        needed = sorted(set(needed_sin) | set(needed_cos))
+        powers = self._build_powers(ciphertext, needed, evaluator,
+                                    relinearization_key)
+        sin_ct = self._accumulate(self.coefficients, needed_sin, powers,
+                                  evaluator, encryptor)
+        cos_ct = self._accumulate(self.cosine_coefficients, needed_cos, powers,
+                                  evaluator, encryptor)
+        return sin_ct, cos_ct
+
+    # ------------------------------------------------------------------
+    # Batched evaluation: the same operation sequence over B fused streams
+    # ------------------------------------------------------------------
+    def apply_many(self, ciphertexts: Sequence[Ciphertext],
+                   batched_evaluator: BatchedEvaluator, encryptor: Encryptor,
+                   relinearization_key: SwitchKey) -> List[Ciphertext]:
+        """Batched :meth:`apply`: one fused HMULT/CMULT/HADD stream per step."""
+        ciphertexts = list(ciphertexts)
+        if not ciphertexts:
+            return []
+        needed = self._needed_terms(self.coefficients)
+        powers = self._build_powers_many(ciphertexts, needed,
+                                         batched_evaluator, relinearization_key)
+        return self._accumulate_many(self.coefficients, needed, powers,
+                                     batched_evaluator, encryptor)
+
+    def apply_pair_many(self, ciphertexts: Sequence[Ciphertext],
+                        batched_evaluator: BatchedEvaluator,
+                        encryptor: Encryptor, relinearization_key: SwitchKey):
+        """Batched :meth:`apply_pair`: returns ``(sin_streams, cos_streams)``."""
+        if self.cosine_coefficients is None:
+            raise ValueError("apply_pair_many needs cosine_coefficients")
+        ciphertexts = list(ciphertexts)
+        if not ciphertexts:
+            return [], []
+        needed_sin = self._needed_terms(self.coefficients)
+        needed_cos = self._needed_terms(self.cosine_coefficients)
+        needed = sorted(set(needed_sin) | set(needed_cos))
+        powers = self._build_powers_many(ciphertexts, needed,
+                                         batched_evaluator, relinearization_key)
+        sin_cts = self._accumulate_many(self.coefficients, needed_sin, powers,
+                                        batched_evaluator, encryptor)
+        cos_cts = self._accumulate_many(self.cosine_coefficients, needed_cos,
+                                        powers, batched_evaluator, encryptor)
+        return sin_cts, cos_cts
+
+    # ------------------------------------------------------------------
+    # Shared internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _needed_terms(coefficients: Sequence[float]) -> List[int]:
+        needed = [k for k, c in enumerate(coefficients) if k >= 1 and c != 0.0]
         if not needed:
             raise ValueError("polynomial has no non-constant terms")
+        return needed
+
+    def _build_powers(self, ciphertext: Ciphertext, needed: Sequence[int],
+                      evaluator: Evaluator, relinearization_key) -> Dict[int, Ciphertext]:
+        """Square-and-multiply ladder for every power in ``needed``."""
+        powers = {1: ciphertext}
         highest = max(needed)
         power = 1
         while power * 2 <= highest:
-            squared = evaluator.multiply_and_rescale(powers[power], powers[power],
-                                                     relinearization_key)
-            powers[power * 2] = squared
+            powers[power * 2] = evaluator.multiply_and_rescale(
+                powers[power], powers[power], relinearization_key)
             power *= 2
         for k in needed:
             if k not in powers:
-                powers[k] = self._compose_power(k, powers, evaluator, relinearization_key)
+                self._compose_power(k, powers, evaluator, relinearization_key)
+        return powers
 
+    def _accumulate(self, coefficients: Sequence[float], needed: Sequence[int],
+                    powers: Dict[int, Ciphertext], evaluator: Evaluator,
+                    encryptor: Encryptor) -> Ciphertext:
         accumulator = None
         for k in needed:
-            coefficient = self.coefficients[k]
+            coefficient = coefficients[k]
             base = powers[k]
             plain = encryptor.encode(
                 np.full(self.context.slot_count, coefficient), scale=base.scale,
@@ -95,7 +204,7 @@ class SineEvaluator:
             term = evaluator.rescale(evaluator.multiply_plain(base, plain))
             accumulator = term if accumulator is None else self._add_aligned(
                 accumulator, term, evaluator)
-        constant = self.coefficients[0]
+        constant = coefficients[0]
         if constant:
             plain = encryptor.encode(
                 np.full(self.context.slot_count, constant), scale=accumulator.scale,
@@ -104,7 +213,6 @@ class SineEvaluator:
             accumulator = evaluator.add_plain(accumulator, plain)
         return accumulator
 
-    # ------------------------------------------------------------------
     def _compose_power(self, exponent: int, powers, evaluator: Evaluator,
                        relinearization_key) -> Ciphertext:
         """Build ``ct**exponent`` from already-computed power ciphertexts."""
@@ -134,3 +242,95 @@ class SineEvaluator:
         lhs, rhs = evaluator.align(lhs, rhs)
         rhs = Ciphertext(rhs.c0, rhs.c1, lhs.scale, rhs.level)
         return evaluator.add(lhs, rhs)
+
+    # ------------------------------------------------------------------
+    # Batched internals: identical per-stream op sequence, fused launches
+    # ------------------------------------------------------------------
+    def _build_powers_many(self, ciphertexts: List[Ciphertext],
+                           needed: Sequence[int],
+                           batched_evaluator: BatchedEvaluator,
+                           relinearization_key) -> Dict[int, List[Ciphertext]]:
+        powers = {1: ciphertexts}
+        highest = max(needed)
+        power = 1
+        while power * 2 <= highest:
+            powers[power * 2] = batched_evaluator.multiply_and_rescale(
+                powers[power], powers[power], relinearization_key)
+            power *= 2
+        for k in needed:
+            if k not in powers:
+                self._compose_power_many(k, powers, batched_evaluator,
+                                         relinearization_key)
+        return powers
+
+    def _compose_power_many(self, exponent: int, powers,
+                            batched_evaluator: BatchedEvaluator,
+                            relinearization_key) -> List[Ciphertext]:
+        remaining = exponent
+        parts = []
+        bit = 1
+        while remaining:
+            if remaining & 1:
+                parts.append(powers[bit])
+            remaining >>= 1
+            bit <<= 1
+        result = parts[0]
+        for part in parts[1:]:
+            result = batched_evaluator.multiply_and_rescale(
+                result, part, relinearization_key)
+        powers[exponent] = result
+        return result
+
+    def _accumulate_many(self, coefficients: Sequence[float],
+                         needed: Sequence[int],
+                         powers: Dict[int, List[Ciphertext]],
+                         batched_evaluator: BatchedEvaluator,
+                         encryptor: Encryptor) -> List[Ciphertext]:
+        accumulator = None
+        for k in needed:
+            bases = powers[k]
+            plains = self._encoded_constant_per_level(
+                coefficients[k], bases, encryptor)
+            terms = batched_evaluator.rescale(
+                batched_evaluator.multiply_plain(bases, plains))
+            accumulator = terms if accumulator is None else \
+                self._add_aligned_many(accumulator, terms, batched_evaluator)
+        constant = coefficients[0]
+        if constant:
+            plains = self._encoded_constant_per_level(
+                constant, accumulator, encryptor)
+            accumulator = batched_evaluator.add_plain(accumulator, plains)
+        return accumulator
+
+    def _encoded_constant_per_level(self, value: float,
+                                    ciphertexts: Sequence[Ciphertext],
+                                    encryptor: Encryptor) -> List[Plaintext]:
+        """Encode a constant once per (scale, level), not once per stream.
+
+        Encoding is deterministic, so the shared plaintext is bit-identical
+        to the per-stream encodes of the sequential path.
+        """
+        cache: Dict = {}
+        plains = []
+        for ciphertext in ciphertexts:
+            key = (ciphertext.scale, ciphertext.level)
+            plain = cache.get(key)
+            if plain is None:
+                plain = encryptor.encode(
+                    np.full(self.context.slot_count, value),
+                    scale=ciphertext.scale, level=ciphertext.level)
+                cache[key] = plain
+            plains.append(plain)
+        return plains
+
+    def _add_aligned_many(self, lhs_streams: Sequence[Ciphertext],
+                          rhs_streams: Sequence[Ciphertext],
+                          batched_evaluator: BatchedEvaluator) -> List[Ciphertext]:
+        """Batched :meth:`_add_aligned`: absorb per-stream scale drift."""
+        evaluator = batched_evaluator.evaluator
+        aligned_lhs, aligned_rhs = [], []
+        for lhs, rhs in zip(lhs_streams, rhs_streams):
+            lhs, rhs = evaluator.align(lhs, rhs)
+            aligned_lhs.append(lhs)
+            aligned_rhs.append(Ciphertext(rhs.c0, rhs.c1, lhs.scale, rhs.level))
+        return batched_evaluator.add(aligned_lhs, aligned_rhs)

@@ -21,8 +21,9 @@ __all__ = ["Encryptor"]
 class Encryptor:
     """Encodes and encrypts slot vectors for one CKKS context."""
 
-    def __init__(self, context: CkksContext, public_key: PublicKey = None,
-                 secret_key: SecretKey = None) -> None:
+    def __init__(self, context: CkksContext,
+                 public_key: Optional[PublicKey] = None,
+                 secret_key: Optional[SecretKey] = None) -> None:
         if public_key is None and secret_key is None:
             raise ValueError("Encryptor needs a public key, a secret key, or both")
         self.context = context

@@ -11,7 +11,7 @@ extended basis ``C_l ∪ P``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -98,7 +98,7 @@ class RotationKeySet:
     """Rotation (and conjugation) keys indexed by the rotation step count."""
 
     keys: Dict[int, SwitchKey] = field(default_factory=dict)
-    conjugation_key: SwitchKey = None
+    conjugation_key: Optional[SwitchKey] = None
 
     def add(self, steps: int, key: SwitchKey) -> None:
         self.keys[steps] = key

@@ -93,7 +93,8 @@ class CostModelConfig:
 class GpuCostModel:
     """Roofline-style kernel timing for one GPU."""
 
-    def __init__(self, gpu: GpuSpec, config: CostModelConfig = None) -> None:
+    def __init__(self, gpu: GpuSpec,
+                 config: Optional[CostModelConfig] = None) -> None:
         self.gpu = gpu
         self.config = config or CostModelConfig()
         self.memory_model = MemoryTrafficModel(gpu)

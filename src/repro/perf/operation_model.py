@@ -61,7 +61,7 @@ class OperationModel:
 
     def __init__(self, parameters: ModelParameters, *, gpu: GpuSpec = A100,
                  variant: str = NttVariant.GEMM_TCU,
-                 cost_config: CostModelConfig = None,
+                 cost_config: Optional[CostModelConfig] = None,
                  batched: bool = True,
                  measured: Optional[MeasuredThroughput] = None) -> None:
         self.parameters = parameters

@@ -47,7 +47,7 @@ class WorkloadModel:
     """Prices full workloads on a GPU using the operation model."""
 
     def __init__(self, *, gpu: GpuSpec = A100, variant: str = NttVariant.GEMM_TCU,
-                 cost_config: CostModelConfig = None,
+                 cost_config: Optional[CostModelConfig] = None,
                  power_watts: float = 264.0) -> None:
         self.gpu = gpu
         self.variant = variant

@@ -261,6 +261,10 @@ class ServingEngine:
     async def conjugate(self, tenant: str, ciphertext: Ciphertext) -> Ciphertext:
         return await self.submit(tenant, OpName.CONJUGATE, ciphertext)
 
+    async def bootstrap(self, tenant: str, ciphertext: Ciphertext) -> Ciphertext:
+        """Refresh one exhausted ciphertext; concurrent refreshes fuse."""
+        return await self.submit(tenant, OpName.BOOTSTRAP, ciphertext)
+
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
@@ -408,6 +412,13 @@ class ServingEngine:
             return evaluator.rotate(streams, chunk[0].steps, keys.rotation_keys)
         if op == OpName.CONJUGATE:
             return evaluator.conjugate(streams, keys.rotation_keys)
+        if op == OpName.BOOTSTRAP:
+            bootstrapper = self.fhe.bootstrapper
+            self.registry.ensure_rotation_keys(
+                keys, bootstrapper.required_rotation_steps())
+            return bootstrapper.bootstrap_many(
+                streams, evaluator, keys.encryptor,
+                keys.relinearization_key, keys.rotation_keys)
         raise UnknownOperation("unknown operation %r" % op)   # pragma: no cover
 
     # ------------------------------------------------------------------

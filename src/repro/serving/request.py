@@ -35,11 +35,13 @@ class OpName:
     RESCALE = "rescale"
     ROTATE = "rotate"
     CONJUGATE = "conjugate"
+    BOOTSTRAP = "bootstrap"
 
-    ALL = (ADD, MULTIPLY, MULTIPLY_PLAIN, RESCALE, ROTATE, CONJUGATE)
+    ALL = (ADD, MULTIPLY, MULTIPLY_PLAIN, RESCALE, ROTATE, CONJUGATE,
+           BOOTSTRAP)
     #: Operations consuming a switch key; these fuse only within one
     #: key-bundle identity (see :class:`~repro.serving.keys.TenantKeys`).
-    KEYED = frozenset((MULTIPLY, ROTATE, CONJUGATE))
+    KEYED = frozenset((MULTIPLY, ROTATE, CONJUGATE, BOOTSTRAP))
     #: Operations taking a second ciphertext operand.
     BINARY = frozenset((ADD, MULTIPLY))
 

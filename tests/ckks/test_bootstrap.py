@@ -16,6 +16,7 @@ from repro.ckks.bootstrap import (
     evaluate_polynomial,
     matrix_diagonals,
     required_rotations,
+    taylor_cosine_coefficients,
     taylor_sine_coefficients,
 )
 
@@ -127,6 +128,44 @@ class TestSineEvaluation:
         with pytest.raises(ValueError):
             SineEvaluator(deep_bundle.context, [])
 
+    def test_cosine_coefficients_match_cos(self):
+        coefficients = taylor_cosine_coefficients(14, 1.0)
+        xs = np.linspace(-1, 1, 11)
+        assert np.allclose(evaluate_polynomial(coefficients, xs), np.cos(xs),
+                           atol=1e-6)
+
+    def test_cosine_only_even_terms(self):
+        coefficients = taylor_cosine_coefficients(9, 2.5)
+        assert coefficients[0] == 1.0
+        assert all(coefficients[k] == 0.0 for k in range(1, 10, 2))
+
+    def test_apply_pair_matches_both_series(self, deep_bundle, rng):
+        """One shared power ladder must evaluate sine AND cosine correctly."""
+        scale_factor = 2.0
+        evaluator = SineEvaluator(
+            deep_bundle.context, taylor_sine_coefficients(7, scale_factor),
+            cosine_coefficients=taylor_cosine_coefficients(7, scale_factor))
+        x = deep_bundle.random_slots(rng)
+        ct = deep_bundle.encryptor.encrypt(x)
+        sin_ct, cos_ct = evaluator.apply_pair(
+            ct, deep_bundle.evaluator, deep_bundle.encryptor,
+            deep_bundle.relinearization_key)
+        assert np.allclose(
+            deep_bundle.decryptor.decrypt_real(sin_ct),
+            evaluate_polynomial(evaluator.coefficients, x), atol=5e-3)
+        assert np.allclose(
+            deep_bundle.decryptor.decrypt_real(cos_ct),
+            evaluate_polynomial(evaluator.cosine_coefficients, x), atol=5e-3)
+
+    def test_apply_pair_requires_cosine_series(self, deep_bundle, rng):
+        evaluator = SineEvaluator(deep_bundle.context,
+                                  taylor_sine_coefficients(7, 1.0))
+        ct = deep_bundle.encryptor.encrypt(deep_bundle.random_slots(rng))
+        with pytest.raises(ValueError):
+            evaluator.apply_pair(ct, deep_bundle.evaluator,
+                                 deep_bundle.encryptor,
+                                 deep_bundle.relinearization_key)
+
 
 class TestModRaise:
     def test_requires_level_zero(self, toy_bundle, rng):
@@ -180,6 +219,22 @@ class TestHomomorphicDft:
         assert len(CoeffToSlot(toy_bundle.context).rotation_steps()) > 0
         assert len(SlotToCoeff(toy_bundle.context).rotation_steps()) > 0
 
+    def test_rotation_steps_within_required_budget(self, toy_bundle):
+        """Every DFT transform's steps ⊆ required_rotations(slot_count).
+
+        ``required_rotations`` is the a-priori key budget callers provision
+        from; a transform asking for a step outside it would fail at
+        key-switch time with lazily generated key sets.
+        """
+        cts = CoeffToSlot(toy_bundle.context)
+        stc = SlotToCoeff(toy_bundle.context)
+        budget = set(required_rotations(toy_bundle.slot_count))
+        transforms = (cts.transform0_direct, cts.transform0_conj,
+                      cts.transform1_direct, cts.transform1_conj,
+                      stc.transform0, stc.transform1)
+        for transform in transforms:
+            assert set(transform.rotation_steps()) <= budget
+
 
 class TestBootstrapper:
     def test_config_depth_estimate(self):
@@ -194,3 +249,19 @@ class TestBootstrapper:
         approx = bootstrapper.reference_mod(values)
         # For |t| << q0 the scaled sine is close to the identity.
         assert np.allclose(approx, values, atol=1e-2)
+
+    def test_doubling_parity_with_same_level_drop(self, toy_bundle, rng):
+        """Pin: ``add(x, x)`` ≡ ``add(x, drop_to_level(x, x.level))``.
+
+        The EvalMod ladder used to route its doublings through a no-op
+        same-level ``drop_to_level``; the plain self-add that replaced it
+        must stay bit-identical.
+        """
+        evaluator = toy_bundle.evaluator
+        ct = toy_bundle.encryptor.encrypt(toy_bundle.random_slots(rng))
+        direct = evaluator.add(ct, ct)
+        via_drop = evaluator.add(ct, evaluator.drop_to_level(ct, ct.level))
+        assert np.array_equal(direct.c0.residues, via_drop.c0.residues)
+        assert np.array_equal(direct.c1.residues, via_drop.c1.residues)
+        assert direct.scale == via_drop.scale
+        assert direct.level == via_drop.level

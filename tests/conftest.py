@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 from repro.api import TensorFheContext
+from repro.ckks.bootstrap import BootstrapConfig
 from repro.ckks import (
     CkksContext,
     CkksParameters,
@@ -88,6 +89,26 @@ def toy_fhe() -> TensorFheContext:
     parameters = CkksParameters(ring_degree=1 << 6, level_count=3, dnum=3,
                                 secret_hamming_weight=8, name="toy-facade")
     return TensorFheContext(parameters, seed=404, rotation_steps=(1, 2, 3))
+
+
+@pytest.fixture(scope="session")
+def bootstrap_fhe() -> TensorFheContext:
+    """N=64, 8 levels, full facade with a shallow bootstrap pipeline.
+
+    The cheap EvalMod configuration (degree-3 Taylor, one double-angle
+    iteration) keeps the whole pipeline within 8 levels, so the batched
+    parity sweeps and the serving coalesce tests stay fast.  Rotation
+    keys for both DFT stages are generated up front so no key material
+    is created inside a kernel-counter capture.
+    """
+    parameters = CkksParameters(ring_degree=1 << 6, level_count=8, dnum=4,
+                                secret_hamming_weight=8,
+                                name="bootstrap-facade")
+    fhe = TensorFheContext(parameters, seed=505,
+                           bootstrap_config=BootstrapConfig(
+                               taylor_degree=3, double_angle_iterations=1))
+    fhe.ensure_rotation_keys(fhe.bootstrapper.required_rotation_steps())
+    return fhe
 
 
 @pytest.fixture()

@@ -156,7 +156,7 @@ class TestRequestValidation:
                               rng.uniform(-1, 1, fhe.slot_count))
         async with engine:
             with pytest.raises(UnknownOperation):
-                engine.submit_nowait("alice", "bootstrap", ciphertext)
+                engine.submit_nowait("alice", "transmogrify", ciphertext)
             with pytest.raises(TypeError):
                 engine.submit_nowait("alice", OpName.ADD, ciphertext)   # no rhs
             with pytest.raises(TypeError):
