@@ -1,0 +1,155 @@
+"""Sharded scale-out backend on the fused batched-GEMM hot path.
+
+Times the four-step fused NTT GEMM — ``(L, n1, n1) @ (L, n1, n1·B)``, the
+launch shape :meth:`NttPlanner.forward_ops` issues for B operation-batched
+ciphertexts at N=4096, L=8 — on the persistent worker pool
+(:class:`~repro.backend.sharded.ShardedBackend`) versus the inline
+single-process numpy delegate, sweeping the fused batch B.
+
+Three artefacts come out of the sweep:
+
+* the **timing pairs** (``sharded_us`` / ``inline_us``), written to
+  ``benchmarks/results/sharded.json`` in the tracked-key convention so
+  :class:`~repro.perf.calibration.MeasuredThroughput` ingests them (the
+  ratios measure process fan-out, not kernel batching — consumers deriving
+  batching constants exclude the ``sharded`` source);
+* the **calibration block** the backend reads back through
+  :func:`~repro.perf.calibration.sharding_calibration`: the measured
+  ``min_shard_elements`` knee (smallest swept MAC count where the pool
+  beat inline) when one was observed, plus the worker/core counts —
+  the worker count only transfers to hosts with the same core count;
+* the **gate**: on a multi-core host the pool must beat inline by
+  ``1.5x * BENCH_GATE_SCALE`` at the B=8 gate shape.  On a single-core
+  host there is no parallelism to win — the sweep still runs and records
+  honest numbers, but the gate is skipped.
+
+The sweep also certifies bit-exactness against numpy at every B and that
+the arena reaches steady state (zero new slabs across repeated launches).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from bench_common import best_of, write_results
+from repro.backend import ShardedBackend
+from repro.ntt.gemm_utils import modular_matmul_limbs
+from repro.numtheory import generate_ntt_primes
+from repro.perf import format_table
+
+#: The acceptance shape: N=4096 four-step => 64x64 stages, 8 limbs.
+RING_DEGREE = 4096
+STAGE = 64
+LIMBS = 8
+PRIME_BITS = 20
+BATCHES = (1, 2, 4, 8)
+GATE_BATCH = 8
+GATE_SCALE = float(os.environ.get("BENCH_GATE_SCALE", "1.0"))
+GATE_SPEEDUP = 1.5 * GATE_SCALE
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+#: Worker-pool size for the sweep: two at minimum so the pool path runs
+#: even on small hosts, capped so the sweep stays a smoke test.
+WORKERS = min(4, max(2, usable_cores()))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    primes = generate_ntt_primes(LIMBS, PRIME_BITS, RING_DEGREE)
+    rng = np.random.default_rng(0)
+    # The four-step stage matrix (per-limb twiddle-scaled DFT) and the
+    # fused operand with B ciphertexts folded into the columns.
+    lhs = np.stack([rng.integers(0, q, (STAGE, STAGE), dtype=np.int64)
+                    for q in primes])
+    backend = ShardedBackend("numpy", workers=WORKERS, min_shard_elements=1)
+    results = {}
+    try:
+        for batch in BATCHES:
+            rhs = np.stack([
+                rng.integers(0, q, (STAGE, STAGE * batch), dtype=np.int64)
+                for q in primes
+            ])
+
+            def sharded():
+                return modular_matmul_limbs(lhs, rhs, primes, backend=backend)
+
+            def inline():
+                return modular_matmul_limbs(lhs, rhs, primes, backend="numpy")
+
+            # Warm-up forks the pool / builds the arena and certifies
+            # bit-exactness of the sharded launch.
+            assert np.array_equal(sharded(), inline())
+            warm = backend.arena_stats()
+            sharded_s = best_of(sharded)
+            inline_s = best_of(inline)
+            # Steady state: the repeated launches above created no slabs.
+            steady = backend.arena_stats()
+            assert steady["slabs_created"] == warm["slabs_created"], (
+                "arena grew after warmup at B=%d" % batch)
+            results[batch] = {
+                "sharded_us": sharded_s * 1e6,
+                "inline_us": inline_s * 1e6,
+                "speedup": inline_s / sharded_s,
+                "macs": LIMBS * STAGE * STAGE * STAGE * batch,
+            }
+    finally:
+        backend.close()
+    return results
+
+
+def test_sweep_writes_results(sweep):
+    rows = [
+        [batch, entry["macs"], round(entry["inline_us"], 1),
+         round(entry["sharded_us"], 1), round(entry["speedup"], 2)]
+        for batch, entry in sorted(sweep.items())
+    ]
+    print()
+    print(format_table(
+        ["B", "MACs", "inline numpy (us)", "sharded x%d (us)" % WORKERS,
+         "speedup"],
+        rows,
+        title="Fused four-step GEMM (L, %d, %d)@(L, %d, %d*B), N=%d, L=%d"
+              % (STAGE, STAGE, STAGE, STAGE, RING_DEGREE, LIMBS)))
+
+    payload = {
+        "fused_gemm_N%d_L%d_B%d" % (RING_DEGREE, LIMBS, batch): {
+            "sharded_us": entry["sharded_us"],
+            "inline_us": entry["inline_us"],
+            "speedup": entry["speedup"],
+        }
+        for batch, entry in sweep.items()
+    }
+    # The calibration block ShardedBackend reads back at construction.
+    # The knee is only recorded when the pool actually won somewhere —
+    # a single-core host records the host facts and keeps the defaults.
+    calibration = {"workers": WORKERS, "cpu_count": os.cpu_count() or 1}
+    winning = [entry["macs"] for entry in sweep.values()
+               if entry["speedup"] > 1.0]
+    if winning:
+        calibration["min_shard_elements"] = min(winning)
+    payload["calibration"] = calibration
+    path = write_results("sharded", payload)
+    print("results written to %s" % path)
+
+    assert len(sweep) == len(BATCHES)
+    # Fan-out, when it pays at all, pays more at larger fused batches.
+    assert sweep[GATE_BATCH]["speedup"] >= sweep[1]["speedup"] * 0.8
+
+
+def test_sharded_speedup_gate(sweep):
+    if usable_cores() < 2:
+        pytest.skip("single-core host: no parallel speedup to gate on")
+    speedup = sweep[GATE_BATCH]["speedup"]
+    assert speedup >= GATE_SPEEDUP, (
+        "sharded pool does not beat inline numpy at N=%d, L=%d, B=%d "
+        "(got %.2fx, need %.2fx)"
+        % (RING_DEGREE, LIMBS, GATE_BATCH, speedup, GATE_SPEEDUP)
+    )

@@ -52,7 +52,10 @@ class TensorFheContext:
         self.encryptor = Encryptor(self.context, self.public_key, self.secret_key)
         self.decryptor = Decryptor(self.context, self.secret_key)
         self.evaluator = Evaluator(self.context)
-        self.batch_scheduler = BatchScheduler(gpu)
+        # The scheduler sizes fused batches for the same compute backend
+        # the context launches on; a sharded backend multiplies the plan
+        # by its worker fan-out so serving traffic fills the whole pool.
+        self.batch_scheduler = BatchScheduler(gpu, backend=backend)
         self.batched_evaluator = BatchedEvaluator(self.context,
                                                   evaluator=self.evaluator)
         self.bootstrap_config = bootstrap_config

@@ -33,6 +33,12 @@ from .registry import (
     set_active_backend,
     use_backend,
 )
+from .sharded import (
+    WORKERS_ENV_VAR,
+    ShardedBackend,
+    ShmArena,
+    parse_worker_count,
+)
 from .torch_backend import TorchBackend
 
 __all__ = [
@@ -40,6 +46,10 @@ __all__ = [
     "NumpyBackend",
     "BlasFloat64Backend",
     "MultiprocessBackend",
+    "ShardedBackend",
+    "ShmArena",
+    "WORKERS_ENV_VAR",
+    "parse_worker_count",
     "TorchBackend",
     "CupyBackend",
     "FloatOperandCache",

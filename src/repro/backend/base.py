@@ -14,6 +14,10 @@ Implementations registered with :mod:`repro.backend.registry`:
 * ``blas`` — the 2**53-guarded float64 BLAS fast path (bit-exact);
 * ``multiprocess`` — shards the limb axis of large batched GEMMs across a
   process pool with shared-memory operands;
+* ``sharded`` — persistent shared-memory workers executing whole fused
+  kernels per shard over a pinned delegate backend (spec
+  ``sharded:<delegate>:<workers>``, e.g. ``sharded:blas:4``); the
+  multiprocess backend is its limb-axis special case;
 * ``torch`` / ``cupy`` — optional accelerator stubs that register only when
   the library imports.
 

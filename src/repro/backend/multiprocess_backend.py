@@ -1,149 +1,59 @@
-"""Multiprocess backend: shard the limb axis across a CPU process pool.
+"""Multiprocess backend: the limb-axis special case of the sharded pool.
 
 The batched modular GEMM is embarrassingly parallel along its leading limb
 axis — limb ``i`` touches only ``lhs[i]``, ``rhs[i]`` and ``moduli[i]``.
-This backend plays the role of a multi-device substrate on a plain CPU: it
-splits the limb axis into one contiguous shard per worker, publishes the
-operands once through POSIX shared memory (no per-task pickling of the
-arrays) and lets each worker write its shard of the result in place.
+This backend keeps that historical contract (GEMMs shard by limbs, every
+other kernel runs inline on exact chunked-int64 numpy) but now runs on the
+:class:`~repro.backend.sharded.ShardedBackend` machinery: **persistent**
+fork-spawned workers, a reusable :class:`~repro.backend.sharded.ShmArena`
+instead of per-launch ``SharedMemory(create=True)``/``unlink`` cycles, and
+zero-copy results read straight out of the arena.
 
-Small launches are not worth a round trip through the pool, so anything
+The first incarnation paid per-call pool setup, per-launch segment churn
+and a result ``.copy()`` on every sharded GEMM, which capped it at ~1.09x
+over numpy (``benchmarks/results/backends.json``); the general-purpose
+scale-out backend — column/B-axis sharding, blas delegates, calibrated
+thresholds — is :class:`~repro.backend.sharded.ShardedBackend`.
+
+Small launches are not worth a round trip through the workers, so anything
 below :attr:`MultiprocessBackend.min_shard_elements` multiply-accumulates
-runs inline on the inherited chunked-int64 arithmetic; the pool itself is
-created lazily on the first large launch and torn down at interpreter exit.
+runs inline; the workers fork lazily on the first large launch and are
+torn down at :meth:`close` or interpreter exit.
 """
 
 from __future__ import annotations
 
-import atexit
-import multiprocessing
-import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Optional, Tuple
+from typing import Optional
 
-import numpy as np
-
-from .numpy_backend import NumpyBackend
+from .sharded import (
+    ShardedBackend,
+    _DEFAULT_MIN_SHARD_ELEMENTS,
+    parse_worker_count,
+)
 
 __all__ = ["MultiprocessBackend"]
 
-#: Below this many multiply-accumulates the pool round trip costs more than
-#: the GEMM itself and the launch stays inline.
-_DEFAULT_MIN_SHARD_ELEMENTS = 1 << 22
 
-
-def _shard_worker(names: Tuple[str, str, str], shapes, moduli_shard,
-                  start: int, stop: int) -> None:
-    """Compute ``out[start:stop] = (lhs @ rhs) mod moduli`` inside a worker.
-
-    All three arrays live in shared memory; the worker attaches, computes
-    its contiguous limb shard with the exact int64 arithmetic and writes the
-    result in place.
-    """
-    from multiprocessing import shared_memory
-
-    lhs_shape, rhs_shape, out_shape = shapes
-    segments = [shared_memory.SharedMemory(name=name) for name in names]
-    try:
-        lhs = np.ndarray(lhs_shape, dtype=np.int64, buffer=segments[0].buf)
-        rhs = np.ndarray(rhs_shape, dtype=np.int64, buffer=segments[1].buf)
-        out = np.ndarray(out_shape, dtype=np.int64, buffer=segments[2].buf)
-        out[start:stop] = NumpyBackend().matmul_limbs(
-            lhs[start:stop], rhs[start:stop],
-            np.asarray(moduli_shard, dtype=np.int64))
-    finally:
-        for segment in segments:
-            segment.close()
-
-
-class MultiprocessBackend(NumpyBackend):
-    """Limb-sharded batched GEMMs over a shared-memory process pool."""
+class MultiprocessBackend(ShardedBackend):
+    """Limb-sharded batched GEMMs over the persistent shared-memory pool."""
 
     name = "multiprocess"
 
+    # Historical contract: only the limb axis of ``matmul_limbs`` shards.
+    shard_columns = False
+    shard_elementwise = False
+
     def __init__(self, *, workers: Optional[int] = None,
-                 min_shard_elements: int = _DEFAULT_MIN_SHARD_ELEMENTS) -> None:
-        env_workers = os.environ.get("REPRO_BACKEND_WORKERS")
-        if workers is None and env_workers:
-            workers = int(env_workers)
-        # An explicit worker count (argument or env var) is honoured as-is;
-        # only the cpu_count fallback is floored at 2 so sharding exists.
-        if workers is None:
-            workers = max(2, os.cpu_count() or 2)
-        self.workers = max(1, workers)
-        self.min_shard_elements = min_shard_elements
-        self._pool: Optional[ProcessPoolExecutor] = None
+                 min_shard_elements: Optional[int] = None) -> None:
+        if min_shard_elements is None:
+            min_shard_elements = _DEFAULT_MIN_SHARD_ELEMENTS
+        super().__init__("numpy", workers=workers,
+                         min_shard_elements=min_shard_elements)
 
-    # ------------------------------------------------------------------
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            # fork keeps worker start cheap and inherits the numpy import;
-            # fall back to the platform default where fork is unavailable.
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                context = multiprocessing.get_context()
-            self._pool = ProcessPoolExecutor(max_workers=self.workers,
-                                             mp_context=context)
-            atexit.register(self.close)
-        return self._pool
-
-    def close(self) -> None:
-        """Shut down the worker pool (it is recreated lazily if needed)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-
-    # ------------------------------------------------------------------
-    def matmul_limbs(self, lhs: np.ndarray, rhs: np.ndarray,
-                     moduli: np.ndarray, *,
-                     lhs_cache: Optional[object] = None,
-                     rhs_cache: Optional[object] = None) -> np.ndarray:
-        limbs, rows, inner = lhs.shape
-        columns = rhs.shape[2]
-        work = limbs * rows * inner * columns
-        if limbs < 2 or work < self.min_shard_elements:
-            return super().matmul_limbs(lhs, rhs, moduli,
-                                        lhs_cache=lhs_cache, rhs_cache=rhs_cache)
-        return self._sharded_matmul(lhs, rhs, np.asarray(moduli, dtype=np.int64))
-
-    def _sharded_matmul(self, lhs: np.ndarray, rhs: np.ndarray,
-                        moduli: np.ndarray) -> np.ndarray:
-        from multiprocessing import shared_memory
-
-        pool = self._ensure_pool()
-        limbs = lhs.shape[0]
-        out_shape = (limbs, lhs.shape[1], rhs.shape[2])
-        lhs = np.ascontiguousarray(lhs, dtype=np.int64)
-        rhs = np.ascontiguousarray(rhs, dtype=np.int64)
-        segments = []
-        try:
-            for operand in (lhs, rhs):
-                segment = shared_memory.SharedMemory(create=True,
-                                                     size=operand.nbytes)
-                np.ndarray(operand.shape, dtype=np.int64,
-                           buffer=segment.buf)[...] = operand
-                segments.append(segment)
-            out_segment = shared_memory.SharedMemory(
-                create=True, size=int(np.prod(out_shape)) * 8)
-            segments.append(out_segment)
-
-            names = tuple(segment.name for segment in segments)
-            shapes = (lhs.shape, rhs.shape, out_shape)
-            shard_count = min(self.workers, limbs)
-            bounds = np.linspace(0, limbs, shard_count + 1).astype(int)
-            futures = [
-                pool.submit(_shard_worker, names, shapes,
-                            moduli[start:stop].tolist(), int(start), int(stop))
-                for start, stop in zip(bounds[:-1], bounds[1:])
-                if stop > start
-            ]
-            for future in futures:
-                future.result()
-            out = np.ndarray(out_shape, dtype=np.int64,
-                             buffer=out_segment.buf).copy()
-        finally:
-            for segment in segments:
-                segment.close()
-                segment.unlink()
-        return out
+    @classmethod
+    def from_spec(cls, spec: str) -> "MultiprocessBackend":
+        """The delegate is pinned to numpy, so the only spec is a worker
+        count: ``multiprocess:4``."""
+        workers = parse_worker_count(
+            spec, source="backend spec %r" % ("%s:%s" % (cls.name, spec)))
+        return cls(workers=workers)

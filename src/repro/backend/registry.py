@@ -35,6 +35,7 @@ from .blas_backend import BlasFloat64Backend
 from .cupy_backend import CupyBackend
 from .multiprocess_backend import MultiprocessBackend
 from .numpy_backend import NumpyBackend
+from .sharded import ShardedBackend
 from .torch_backend import TorchBackend
 
 __all__ = [
@@ -76,8 +77,13 @@ def register_backend(backend_cls: Type[ArrayBackend]) -> Type[ArrayBackend]:
     name = backend_cls.name
     if not name or name == ArrayBackend.name:
         raise ValueError("backend class %r needs a concrete name" % backend_cls)
+    if ":" in name:
+        raise ValueError("backend name %r may not contain ':' (reserved "
+                         "for parameterised specs)" % name)
     _REGISTRY[name] = backend_cls
-    _INSTANCES.pop(name, None)
+    for key in [key for key in _INSTANCES
+                if key == name or key.startswith(name + ":")]:
+        _INSTANCES.pop(key, None)
     return backend_cls
 
 
@@ -94,13 +100,24 @@ def available_backends() -> Tuple[str, ...]:
 def get_backend(name: str) -> ArrayBackend:
     """Return the shared instance of backend ``name``.
 
+    A ``:`` in the name separates the registered backend from a
+    parameter spec the class parses itself via its ``from_spec``
+    classmethod — e.g. ``sharded:blas:4`` is the sharded backend over
+    blas delegates with four workers.  One instance is cached per *full*
+    spec string, so ``sharded:blas:2`` and ``sharded:blas:4`` coexist.
+
     Raises
     ------
     ValueError
-        If the name is unregistered or its optional dependency is missing.
+        If the name is unregistered, its optional dependency is missing,
+        or the spec suffix does not parse.
     """
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    base, separator, spec = name.partition(":")
     try:
-        backend_cls = _REGISTRY[name]
+        backend_cls = _REGISTRY[base]
     except KeyError:
         raise ValueError(
             "unknown compute backend %r; registered: %s"
@@ -109,12 +126,18 @@ def get_backend(name: str) -> ArrayBackend:
     if not backend_cls.is_available():
         raise ValueError(
             "compute backend %r is registered but unavailable "
-            "(optional dependency not installed)" % name
+            "(optional dependency not installed)" % base
         )
-    instance = _INSTANCES.get(name)
-    if instance is None:
+    if separator:
+        factory = getattr(backend_cls, "from_spec", None)
+        if factory is None:
+            raise ValueError(
+                "compute backend %r does not take a parameterised spec "
+                "(got %r)" % (base, name))
+        instance = factory(spec)
+    else:
         instance = backend_cls()
-        _INSTANCES[name] = instance
+    _INSTANCES[name] = instance
     return instance
 
 
@@ -160,5 +183,6 @@ def resolve_backend(backend: BackendSpec) -> ArrayBackend:
 register_backend(NumpyBackend)
 register_backend(BlasFloat64Backend)
 register_backend(MultiprocessBackend)
+register_backend(ShardedBackend)
 register_backend(TorchBackend)
 register_backend(CupyBackend)

@@ -46,6 +46,9 @@ class BatchPlan:
     #: The measured fused-speedup knee that drove the choice, when the
     #: scheduler was built with a calibration (None = static model).
     measured_batch: Optional[int] = None
+    #: How many shard workers the compute backend fans the batch axis
+    #: out to (1 = single-process backend).
+    batch_fanout: int = 1
 
     @property
     def limited_by_vram(self) -> bool:
@@ -60,11 +63,33 @@ class BatchScheduler:
     """Chooses operation-level batch sizes for a GPU and CKKS parameter set."""
 
     def __init__(self, gpu: GpuSpec, *, vram_utilisation: float = 0.85,
-                 measured: Optional["MeasuredThroughput"] = None) -> None:
+                 measured: Optional["MeasuredThroughput"] = None,
+                 backend=None) -> None:
         self.gpu = gpu
         self.vram_utilisation = vram_utilisation
         #: Optional measured calibration; see the module docstring.
         self.measured = measured if measured else None
+        #: Compute backend the plans size for: a registered name, an
+        #: :class:`~repro.backend.base.ArrayBackend` instance, or ``None``
+        #: to follow the process-wide active backend at plan time.
+        self.backend = backend
+
+    def batch_fanout(self) -> int:
+        """How many workers the backend shards the batch axis across.
+
+        A sharded backend splits the fused B axis over its worker pool,
+        so saturating the pool needs ``workers × per-shard knee``
+        operations in flight; single-process backends report 1.  Backends
+        advertise the fan-out through ``capabilities()['batch_fanout']``;
+        resolution failures (an unavailable ``REPRO_BACKEND``, say)
+        degrade to 1 rather than breaking planning.
+        """
+        try:
+            from ..backend.registry import resolve_backend
+            capabilities = resolve_backend(self.backend).capabilities()
+            return max(1, int(capabilities.get("batch_fanout", 1)))
+        except Exception:
+            return 1
 
     def working_set_per_operation(self, ring_degree: int, limb_count: int,
                                   components: int = 2) -> float:
@@ -88,7 +113,9 @@ class BatchScheduler:
 
         With a measured calibration, the observed fused-speedup knee
         replaces the saturation estimate (VRAM and ``requested`` still
-        cap the result).
+        cap the result).  A batch-sharding backend multiplies the target
+        by its worker fan-out — the knee is a *per-shard* quantity, so a
+        pool of W workers saturates at W knees' worth of operations.
         """
         per_op = self.working_set_per_operation(ring_degree, limb_count, components)
         usable = self.gpu.vram_bytes * self.vram_utilisation
@@ -98,7 +125,9 @@ class BatchScheduler:
         if self.measured is not None:
             measured_batch = self.measured.preferred_batch(
                 ring_degree, source="op_batching")
+        fanout = self.batch_fanout()
         target = saturation if measured_batch is None else measured_batch
+        target *= fanout
         batch = min(vram_limit, max(target, 1))
         if requested is not None:
             batch = min(batch, requested)
@@ -109,4 +138,5 @@ class BatchScheduler:
             saturation_batch=saturation,
             working_set_bytes_per_op=per_op,
             measured_batch=measured_batch,
+            batch_fanout=fanout,
         )

@@ -34,7 +34,8 @@ import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["MeasuredPoint", "MeasuredThroughput", "default_results_dir"]
+__all__ = ["MeasuredPoint", "MeasuredThroughput", "ShardingCalibration",
+           "sharding_calibration", "default_results_dir"]
 
 #: Result files whose entries are (fused vs baseline) timing pairs, with
 #: the JSON field names holding the fused and baseline microseconds.
@@ -43,6 +44,11 @@ _PAIRED_FILES: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     "op_batching_cmult": (("fused_us",), ("sequential_us",)),
     "keyswitch_batching": (("fused_us",), ("per_stream_us",)),
     "float_reduction": (("float64_barrett_us",), ("int64_detour_us",)),
+    # Scale-out sweep: sharded (multi-worker) vs inline single-process
+    # execution of the same fused launch.  These ratios measure process
+    # fan-out, not kernel batching efficiency — consumers deriving
+    # *batching* constants exclude this source.
+    "sharded": (("sharded_us",), ("inline_us",)),
 }
 
 _KEY_PATTERN = re.compile(
@@ -163,22 +169,31 @@ class MeasuredThroughput:
 
     def select(self, *, source: Optional[str] = None,
                label: Optional[str] = None,
-               ring_degree: Optional[int] = None) -> List[MeasuredPoint]:
+               ring_degree: Optional[int] = None,
+               exclude_sources: Tuple[str, ...] = ()) -> List[MeasuredPoint]:
         """Points matching every given filter."""
         return [
             point for point in self.points
             if (source is None or point.source == source)
+            and point.source not in exclude_sources
             and (label is None or point.label == label)
             and (ring_degree is None or point.ring_degree == ring_degree)
         ]
 
-    def mean_batched_speedup(self, *, source: Optional[str] = None) -> float:
+    def mean_batched_speedup(self, *, source: Optional[str] = None,
+                             exclude_sources: Tuple[str, ...] = ()) -> float:
         """Geometric-mean measured speedup of fused over looped execution.
 
         The geometric mean is the right aggregate for ratios; an empty
         selection returns 1.0 (no measured evidence of a speedup).
+        ``exclude_sources`` drops files measuring a different axis (the
+        scale-out sweep's process fan-out, for example) from the
+        aggregate.
         """
-        speedups = [p.speedup for p in self.select(source=source) if p.speedup > 0]
+        speedups = [p.speedup
+                    for p in self.select(source=source,
+                                         exclude_sources=exclude_sources)
+                    if p.speedup > 0]
         if not speedups:
             return 1.0
         product = 1.0
@@ -252,3 +267,73 @@ def _first_field(entry: dict, names: Tuple[str, ...]) -> Optional[float]:
         if isinstance(value, (int, float)):
             return float(value)
     return None
+
+
+# ----------------------------------------------------------------------
+# Sharded-backend calibration: measured knees for the scale-out pool
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardingCalibration:
+    """Measured thresholds for the sharded scale-out backend.
+
+    Written by ``benchmarks/bench_sharded.py`` as the ``calibration``
+    block of ``benchmarks/results/sharded.json`` and consumed by
+    :class:`~repro.backend.sharded.ShardedBackend` in place of its
+    hardcoded ``min_shard_elements`` defaults.  Any field may be ``None``
+    (not measured); the backend keeps its default for those.
+    """
+
+    #: GEMM multiply-accumulate count below which a launch stays inline
+    #: (the measured knee where sharding first beat inline execution).
+    min_shard_elements: Optional[int] = None
+    #: Element count below which element-wise kernels stay inline.
+    min_elementwise_elements: Optional[int] = None
+    #: Worker count the sweep found best — only meaningful on a host with
+    #: the same core count as the measuring one, see ``applies_to_host``.
+    workers: Optional[int] = None
+    #: ``os.cpu_count()`` of the measuring host.
+    cpu_count: Optional[int] = None
+
+    def applies_to_host(self) -> bool:
+        """Whether the measured worker count transfers to this host.
+
+        The knee thresholds are work-per-round-trip ratios and transfer
+        across hosts; the best worker count is a property of the core
+        count and only applies where it matches.
+        """
+        return self.cpu_count is None or self.cpu_count == (os.cpu_count() or 0)
+
+
+def sharding_calibration(path: Optional[str] = None) -> Optional["ShardingCalibration"]:
+    """Load the sharded backend's measured knees from ``sharded.json``.
+
+    Returns ``None`` when no results directory, file or ``calibration``
+    block exists — the backend then falls back to its hardcoded
+    defaults.  Tolerant of malformed payloads for the same reason
+    :meth:`MeasuredThroughput.from_results_dir` is: a broken benchmark
+    artefact must never break backend construction.
+    """
+    path = default_results_dir() if path is None else path
+    if path is None:
+        return None
+    try:
+        with open(os.path.join(path, "sharded.json")) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    block = payload.get("calibration") if isinstance(payload, dict) else None
+    if not isinstance(block, dict):
+        return None
+
+    def positive_int(name: str) -> Optional[int]:
+        value = block.get(name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return int(value) if value > 0 else None
+
+    return ShardingCalibration(
+        min_shard_elements=positive_int("min_shard_elements"),
+        min_elementwise_elements=positive_int("min_elementwise_elements"),
+        workers=positive_int("workers"),
+        cpu_count=positive_int("cpu_count"),
+    )

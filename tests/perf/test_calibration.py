@@ -126,18 +126,24 @@ def test_operation_model_accepts_measured(synthetic):
 
 
 def test_scheduler_uses_measured_knee(synthetic):
-    static = BatchScheduler(A100)
-    measured = BatchScheduler(A100, measured=synthetic)
+    # Pinned to the single-process numpy backend so the knee logic is
+    # observed in isolation: under REPRO_BACKEND=sharded (the CI backend
+    # matrix) an unpinned scheduler would fold the pool fan-out into the
+    # plan, which has its own tests in tests/backend/test_sharded.py.
+    static = BatchScheduler(A100, backend="numpy")
+    measured = BatchScheduler(A100, measured=synthetic, backend="numpy")
     static_plan = static.plan(4096, 9)
     measured_plan = measured.plan(4096, 9)
     assert static_plan.measured_batch is None and not static_plan.measured
     assert measured_plan.measured_batch == 16
+    assert static_plan.batch_fanout == 1 and measured_plan.batch_fanout == 1
     # VRAM is not the binding limit at this size, so the knee decides.
     assert measured_plan.batch_size == 16
     # ``requested`` still caps the measured recommendation.
     assert measured.plan(4096, 9, requested=4).batch_size == 4
     # An empty calibration behaves exactly like the static scheduler.
-    empty = BatchScheduler(A100, measured=MeasuredThroughput.from_payloads({}))
+    empty = BatchScheduler(A100, measured=MeasuredThroughput.from_payloads({}),
+                           backend="numpy")
     assert empty.measured is None
     assert empty.plan(4096, 9).batch_size == static_plan.batch_size
 
